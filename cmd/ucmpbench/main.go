@@ -1,0 +1,246 @@
+// Command ucmpbench regenerates any table or figure of the paper by id.
+//
+//	ucmpbench -exp all            # everything (scaled configuration)
+//	ucmpbench -exp fig6a,fig6c    # FCT + efficiency for web search
+//	ucmpbench -exp table3 -full   # offline analyses at paper scale
+//
+// Simulation-based figures run on a scaled-down fabric by default so the
+// full sweep finishes in minutes; -full switches the offline analyses to
+// the paper's 108-ToR fabric and lengthens the simulations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ucmp/internal/core"
+	"ucmp/internal/harness"
+	"ucmp/internal/sim"
+	"ucmp/internal/testbed"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+var allExps = []string{
+	"table1", "table2", "table3",
+	"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
+	"fig7", "fig8", "fig9", "fig10", "fig11",
+	"fig12", "fig12d", "fig13", "fig14", "fig15", "fig16", "fig17",
+	"ablation", "extension",
+}
+
+func main() {
+	var (
+		expF  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		fullF = flag.Bool("full", false, "paper-scale offline analyses and longer simulations")
+		seedF = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expF == "all" {
+		for _, e := range allExps {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expF, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	r := runner{full: *fullF, seed: *seedF}
+	for _, e := range allExps {
+		if !want[e] {
+			continue
+		}
+		start := time.Now()
+		if err := r.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "ucmpbench %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n\n", e, time.Since(start).Seconds())
+	}
+}
+
+type runner struct {
+	full bool
+	seed int64
+
+	ps *core.PathSet
+}
+
+// analysisConfig is the fabric used for offline path analyses.
+func (r *runner) analysisConfig() topo.Config {
+	if r.full {
+		return topo.PaperDefault()
+	}
+	cfg := topo.Scaled()
+	cfg.NumToRs, cfg.Uplinks = 32, 4
+	return cfg
+}
+
+func (r *runner) pathSet() *core.PathSet {
+	if r.ps == nil {
+		fab := topo.MustFabric(r.analysisConfig(), "round-robin", 1)
+		r.ps = core.BuildPathSet(fab, 0.5)
+	}
+	return r.ps
+}
+
+// simBase is the base packet-simulation configuration.
+func (r *runner) simBase() harness.SimConfig {
+	cfg := harness.ScaledConfig(harness.UCMP, transport.DCTCP, "websearch")
+	cfg.Seed = r.seed
+	if r.full {
+		cfg.Duration = 20 * sim.Millisecond
+		cfg.Horizon = 80 * sim.Millisecond
+	}
+	return cfg
+}
+
+func (r *runner) run(exp string) error {
+	switch exp {
+	case "table1":
+		fmt.Println(harness.Table1())
+	case "table2":
+		scales := harness.Table2Scales
+		if !r.full {
+			scales = scales[:2]
+		}
+		rep, _ := harness.Table2(scales)
+		fmt.Println(rep)
+	case "table3":
+		rows := harness.Table3Scales
+		if !r.full {
+			rows = []harness.Table3Row{{SliceUs: 1, N: 108, D: 6}, {SliceUs: 1, N: 324, D: 6}, {SliceUs: 5, N: 1200, D: 12}}
+		}
+		fmt.Println(harness.Table3(rows))
+	case "fig5a":
+		rep, _ := harness.Fig5a(r.pathSet())
+		fmt.Println(rep)
+	case "fig5b":
+		stride := 1
+		if r.full {
+			stride = 3
+		}
+		rep, _ := harness.Fig5b(r.pathSet(), stride)
+		fmt.Println(rep)
+	case "fig6a", "fig6c":
+		rep, results, err := harness.Fig6FCT(r.simBase(), "websearch", harness.Fig6Schemes(false))
+		if err != nil {
+			return err
+		}
+		if exp == "fig6a" {
+			fmt.Println(rep)
+		} else {
+			fmt.Println(harness.Fig6Efficiency(results, "websearch"))
+		}
+	case "fig6b", "fig6d":
+		rep, results, err := harness.Fig6FCT(r.simBase(), "datamining", harness.Fig6Schemes(true))
+		if err != nil {
+			return err
+		}
+		if exp == "fig6b" {
+			fmt.Println(rep)
+		} else {
+			fmt.Println(harness.Fig6Efficiency(results, "datamining"))
+		}
+	case "fig7":
+		rep, _, err := harness.Fig7LinkUtil(r.simBase(), "websearch", harness.Fig6Schemes(false))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig17":
+		rep, _, err := harness.Fig7LinkUtil(r.simBase(), "datamining", harness.Fig6Schemes(true))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig8":
+		rep, _, err := harness.Fig8Bucketing(r.simBase())
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig9":
+		rep, _, err := harness.Fig9Reconf(r.simBase(), []sim.Time{10 * sim.Nanosecond, 1 * sim.Microsecond, 10 * sim.Microsecond})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig10":
+		rep, _, err := harness.Fig10Alpha(r.simBase(), []float64{0.3, 0.5, 0.7})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig11":
+		rep, _, err := harness.Fig11Slice(r.simBase(), []sim.Time{10 * sim.Microsecond, 50 * sim.Microsecond, 300 * sim.Microsecond})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig12":
+		rep, _ := harness.Fig12abc(r.pathSet(), r.seed)
+		fmt.Println(rep)
+	case "fig12d":
+		rep, _, err := harness.Fig12d(r.simBase(), []float64{0, 0.01, 0.03, 0.05})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig13":
+		rep, _, err := testbed.RunAll(testbed.Options{Seed: r.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig14":
+		rep, _ := harness.Fig14()
+		fmt.Println(rep)
+	case "fig15":
+		rep, _, err := harness.Fig15LoadBalance(r.simBase(), harness.Fig6Schemes(false))
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	case "fig16":
+		rep, _ := harness.Fig16(r.analysisConfig(), 7)
+		fmt.Println(rep)
+	case "ablation":
+		rep, _, err := harness.AblationPolicy(r.simBase())
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		rep2, _, err := harness.AblationParallel(r.simBase())
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep2)
+		fmt.Println(harness.AblationSchedule(108, 6))
+	case "extension":
+		rep, _, err := harness.ExtensionCongestion(r.simBase())
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		rep2, _, err := harness.ExtensionAlphaController(r.simBase(), 0.06)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep2)
+		rep3, _, err := harness.ExtensionMPTCP(r.simBase())
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep3)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module ucmp
+
+go 1.22

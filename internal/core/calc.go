@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"ucmp/internal/topo"
+)
+
+// Calculator performs UCMP offline path calculation (§4): n-hop
+// minimum-latency paths for every (src, dst, t_start) up to Q(h_max) hops.
+type Calculator struct {
+	F *topo.Fabric
+	// HMax is the hop-count bound Q(h_max) from Appendix B.
+	HMax int
+	// HSlice caps the number of hops a packet can take within one slice.
+	HSlice int
+	// MaxParallel caps how many tied (parallel) solutions are retained per
+	// hop count (§4.3, property 2). At least 1.
+	MaxParallel int
+
+	Bound HmaxBound
+}
+
+// NewCalculator derives Q(h_max) from the fabric per Appendix B and returns
+// a calculator with default parallel retention of 4 paths.
+func NewCalculator(f *topo.Fabric) *Calculator {
+	b := BoundHmax(f.Config, f.Sched)
+	return &Calculator{F: f, HMax: b.Q, HSlice: b.HSlice, MaxParallel: 4, Bound: b}
+}
+
+// Tables holds the DP results of Alg. 1 for one starting slice: for every
+// hop count n in [1, HMax] and every ToR pair, the minimum-latency n-hop
+// path encoded as (end slice, last intermediate ToR, hops within the final
+// slice, tied alternatives).
+type Tables struct {
+	N          int
+	HMax       int
+	StartSlice int64 // absolute == cyclic t_start
+
+	end   [][]int64   // [n][src*N+dst]; -1 where no path
+	last  [][]int32   // last intermediate ToR of the primary solution
+	hLast [][]int8    // hops taken within the final slice
+	par   [][][]int32 // tied alternative last hops (excluding primary)
+}
+
+// Compute runs the n-hop minimum-latency path algorithm (§4.1, Alg. 1) for
+// one cyclic starting slice.
+//
+// The recursion splits an n-hop path into sp1 (the (n-1)-hop
+// minimum-latency path src->last) and sp2 (the last hop last->dst); the
+// split is feasible when latency(sp1) <= latency(sp2), i.e. the packet
+// reaches the last intermediate ToR before (or in) the slice of the final
+// circuit. Two refinements over the paper's pseudocode, noted in DESIGN.md:
+//
+//   - instead of discarding an intermediate whose earliest last-hop circuit
+//     precedes the packet's arrival, we advance to that circuit's next
+//     appearance (a strictly larger search space, same minimality);
+//   - hops within a single slice are capped at HSlice so every produced
+//     path is physically traversable (Appendix B's h_slice).
+func (c *Calculator) Compute(tstart int) *Tables {
+	n := c.F.Sched.N
+	t := &Tables{N: n, HMax: c.HMax, StartSlice: int64(tstart)}
+	t.end = make([][]int64, c.HMax+1)
+	t.last = make([][]int32, c.HMax+1)
+	t.hLast = make([][]int8, c.HMax+1)
+	t.par = make([][][]int32, c.HMax+1)
+	sched := c.F.Sched
+
+	for h := 1; h <= c.HMax; h++ {
+		t.end[h] = make([]int64, n*n)
+		t.last[h] = make([]int32, n*n)
+		t.hLast[h] = make([]int8, n*n)
+		t.par[h] = make([][]int32, n*n)
+		for i := range t.end[h] {
+			t.end[h][i] = -1
+			t.last[h][i] = -1
+		}
+	}
+
+	// n = 1: direct circuits (Fig 3b).
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			idx := src*n + dst
+			t.end[1][idx] = sched.NextDirect(src, dst, t.StartSlice)
+			t.hLast[1][idx] = 1
+		}
+	}
+
+	// n >= 2: extend the (n-1)-hop minimum-latency paths by one hop.
+	for h := 2; h <= c.HMax; h++ {
+		prevEnd := t.end[h-1]
+		prevHL := t.hLast[h-1]
+		curEnd := t.end[h]
+		curLast := t.last[h]
+		curHL := t.hLast[h]
+		for src := 0; src < n; src++ {
+			row := src * n
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				bestEnd := int64(-1)
+				var bestLast int32 = -1
+				var bestHL int8
+				var ties []int32
+				for mid := 0; mid < n; mid++ {
+					if mid == src || mid == dst {
+						continue
+					}
+					e1 := prevEnd[row+mid]
+					if e1 < 0 {
+						continue
+					}
+					// Earliest last-hop circuit at or after arrival.
+					e2 := sched.NextDirect(mid, dst, e1)
+					hl := int8(1)
+					if e2 == e1 {
+						if int(prevHL[row+mid]) >= c.HSlice {
+							// Slice hop budget exhausted: wait for the next
+							// appearance of the circuit.
+							e2 = sched.NextDirect(mid, dst, e1+1)
+						} else {
+							hl = prevHL[row+mid] + 1
+						}
+					}
+					switch {
+					case bestEnd < 0 || e2 < bestEnd:
+						bestEnd, bestLast, bestHL = e2, int32(mid), hl
+						ties = ties[:0]
+					case e2 == bestEnd:
+						if hl < bestHL {
+							// Prefer the variant leaving slack in the final
+							// slice; demote the old primary to a tie.
+							ties = appendTie(ties, bestLast, c.MaxParallel-1)
+							bestLast, bestHL = int32(mid), hl
+						} else {
+							ties = appendTie(ties, int32(mid), c.MaxParallel-1)
+						}
+					}
+				}
+				idx := row + dst
+				curEnd[idx] = bestEnd
+				curLast[idx] = bestLast
+				curHL[idx] = bestHL
+				if len(ties) > 0 {
+					t.par[h][idx] = ties
+				}
+			}
+		}
+	}
+	return t
+}
+
+func appendTie(ties []int32, v int32, max int) []int32 {
+	if len(ties) >= max {
+		return ties
+	}
+	for _, x := range ties {
+		if x == v {
+			return ties
+		}
+	}
+	return append(ties, v)
+}
+
+// EndSlice returns the absolute end slice of the n-hop minimum-latency path
+// src->dst, or -1 if none exists.
+func (t *Tables) EndSlice(n, src, dst int) int64 { return t.end[n][src*t.N+dst] }
+
+// LatencySlices returns the Eqn. 1 latency of the n-hop minimum-latency
+// path, or -1 if none exists.
+func (t *Tables) LatencySlices(n, src, dst int) int64 {
+	e := t.end[n][src*t.N+dst]
+	if e < 0 {
+		return -1
+	}
+	return e - t.StartSlice + 1
+}
+
+// Path reconstructs the n-hop minimum-latency path src->dst, or nil if none
+// exists.
+func (t *Tables) Path(n, src, dst int) *Path {
+	if n < 1 || n > t.HMax || t.end[n][src*t.N+dst] < 0 {
+		return nil
+	}
+	p := &Path{Src: src, Dst: dst, StartSlice: t.StartSlice, Hops: make([]Hop, n)}
+	if !t.fill(p.Hops, n, src, dst) {
+		return nil
+	}
+	return p
+}
+
+// fill writes the hops of the n-hop primary path into hops[0:n].
+func (t *Tables) fill(hops []Hop, n, src, dst int) bool {
+	idx := src*t.N + dst
+	e := t.end[n][idx]
+	if e < 0 {
+		return false
+	}
+	hops[n-1] = Hop{To: dst, Slice: e}
+	if n == 1 {
+		return true
+	}
+	mid := int(t.last[n][idx])
+	if mid < 0 {
+		return false
+	}
+	return t.fill(hops[:n-1], n-1, src, mid)
+}
+
+// ParallelPaths returns every retained n-hop minimum-latency path (the
+// primary plus ties) for src->dst.
+func (t *Tables) ParallelPaths(n, src, dst int) []*Path {
+	primary := t.Path(n, src, dst)
+	if primary == nil {
+		return nil
+	}
+	paths := []*Path{primary}
+	if n < 2 {
+		return paths
+	}
+	idx := src*t.N + dst
+	e := t.end[n][idx]
+	for _, alt := range t.par[n][idx] {
+		p := &Path{Src: src, Dst: dst, StartSlice: t.StartSlice, Hops: make([]Hop, n)}
+		p.Hops[n-1] = Hop{To: dst, Slice: e}
+		if t.fill(p.Hops[:n-1], n-1, src, int(alt)) {
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// sanity check used by tests: the DP tables must describe valid paths.
+func (t *Tables) validate() error {
+	for n := 1; n <= t.HMax; n++ {
+		for src := 0; src < t.N; src++ {
+			for dst := 0; dst < t.N; dst++ {
+				if src == dst {
+					continue
+				}
+				p := t.Path(n, src, dst)
+				if p == nil {
+					return fmt.Errorf("core: missing %d-hop path %d->%d", n, src, dst)
+				}
+				if err := p.Validate(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

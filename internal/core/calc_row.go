@@ -1,0 +1,123 @@
+package core
+
+// RowTables is the single-source variant of the Alg. 1 DP: the recursion
+// p^n(src, dst) only consults p^(n-1)(src, ·), so one source's row can be
+// computed in O(h_max · N²) without materializing the full N² table. This
+// is what makes switch-resource estimation (Table 2) tractable at 1024
+// ToRs, where the full PathSet would be O(N³) per starting slice.
+type RowTables struct {
+	N          int
+	HMax       int
+	Src        int
+	StartSlice int64
+
+	end   [][]int64 // [n][dst]
+	last  [][]int32
+	hLast [][]int8
+}
+
+// ComputeRow runs the DP for a single source ToR and starting slice.
+func (c *Calculator) ComputeRow(tstart, src int) *RowTables {
+	n := c.F.Sched.N
+	sched := c.F.Sched
+	t := &RowTables{N: n, HMax: c.HMax, Src: src, StartSlice: int64(tstart)}
+	t.end = make([][]int64, c.HMax+1)
+	t.last = make([][]int32, c.HMax+1)
+	t.hLast = make([][]int8, c.HMax+1)
+	for h := 1; h <= c.HMax; h++ {
+		t.end[h] = make([]int64, n)
+		t.last[h] = make([]int32, n)
+		t.hLast[h] = make([]int8, n)
+		for i := range t.end[h] {
+			t.end[h][i] = -1
+			t.last[h][i] = -1
+		}
+	}
+	for dst := 0; dst < n; dst++ {
+		if dst == src {
+			continue
+		}
+		t.end[1][dst] = sched.NextDirect(src, dst, t.StartSlice)
+		t.hLast[1][dst] = 1
+	}
+	for h := 2; h <= c.HMax; h++ {
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			bestEnd := int64(-1)
+			var bestLast int32 = -1
+			var bestHL int8
+			for mid := 0; mid < n; mid++ {
+				if mid == src || mid == dst {
+					continue
+				}
+				e1 := t.end[h-1][mid]
+				if e1 < 0 {
+					continue
+				}
+				e2 := sched.NextDirect(mid, dst, e1)
+				hl := int8(1)
+				if e2 == e1 {
+					if int(t.hLast[h-1][mid]) >= c.HSlice {
+						e2 = sched.NextDirect(mid, dst, e1+1)
+					} else {
+						hl = t.hLast[h-1][mid] + 1
+					}
+				}
+				if bestEnd < 0 || e2 < bestEnd || (e2 == bestEnd && hl < bestHL) {
+					bestEnd, bestLast, bestHL = e2, int32(mid), hl
+				}
+			}
+			t.end[h][dst] = bestEnd
+			t.last[h][dst] = bestLast
+			t.hLast[h][dst] = bestHL
+		}
+	}
+	return t
+}
+
+// GroupShape summarizes one group's bucket structure without materializing
+// paths: the hull (hop, latency) points and the α-free thresholds.
+type GroupShape struct {
+	Hops       []int
+	Latencies  []int64
+	Thresholds []float64
+}
+
+// GroupShapes extracts the property-3-filtered, hull-reduced group shape
+// for every destination of the row.
+func (c *Calculator) GroupShapes(t *RowTables, m CostModel) []GroupShape {
+	out := make([]GroupShape, t.N)
+	for dst := 0; dst < t.N; dst++ {
+		if dst == t.Src {
+			continue
+		}
+		g := Group{Src: t.Src, Dst: dst, StartSlice: int(t.StartSlice)}
+		best := int64(1) << 62
+		for h := 1; h <= t.HMax; h++ {
+			e := t.end[h][dst]
+			if e < 0 {
+				continue
+			}
+			lat := e - t.StartSlice + 1
+			if lat >= best {
+				continue
+			}
+			g.Entries = append(g.Entries, Entry{HopCount: h, LatencySlices: lat})
+			best = lat
+			if lat == 1 {
+				break
+			}
+		}
+		g.BuildBuckets(m)
+		sh := GroupShape{}
+		for _, hi := range g.hull {
+			sh.Hops = append(sh.Hops, g.Entries[hi].HopCount)
+			sh.Latencies = append(sh.Latencies, g.Entries[hi].LatencySlices)
+		}
+		sh.Thresholds = append(sh.Thresholds, g.thrFree...)
+		out[dst] = sh
+	}
+	return out
+}

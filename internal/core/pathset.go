@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+
+	"ucmp/internal/topo"
+)
+
+// PathSet is the complete offline output of UCMP path calculation: one
+// UCMP group per (t_start, src, dst). It is what gets compiled into the
+// per-ToR source routing tables (§6.2).
+type PathSet struct {
+	F     *topo.Fabric
+	Calc  *Calculator
+	Model CostModel
+
+	groups [][]*Group // [t_start][src*N+dst]
+}
+
+// BuildPathSet runs offline path calculation for every starting slice of
+// the cycle. alpha is the §5.2 weight factor baked into the cost model.
+func BuildPathSet(f *topo.Fabric, alpha float64) *PathSet {
+	return BuildPathSetWith(f, alpha, 0)
+}
+
+// BuildPathSetWith is BuildPathSet with a custom cap on retained parallel
+// solutions per hop count (0 keeps the default; 1 disables ECMP-style tie
+// spreading — an ablation knob).
+func BuildPathSetWith(f *topo.Fabric, alpha float64, maxParallel int) *PathSet {
+	calc := NewCalculator(f)
+	if maxParallel > 0 {
+		calc.MaxParallel = maxParallel
+	}
+	ps := &PathSet{
+		F:    f,
+		Calc: calc,
+		Model: CostModel{
+			Alpha:       alpha,
+			LinkBps:     float64(f.LinkBps),
+			SliceMicros: f.SliceDuration.Micros(),
+		},
+	}
+	n := f.Sched.N
+	ps.groups = make([][]*Group, f.Sched.S)
+	for ts := 0; ts < f.Sched.S; ts++ {
+		t := calc.Compute(ts)
+		row := make([]*Group, n*n)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				row[src*n+dst] = calc.Group(t, src, dst, ps.Model)
+			}
+		}
+		ps.groups[ts] = row
+	}
+	return ps
+}
+
+// Group returns the UCMP group for a cyclic starting slice and ToR pair.
+func (ps *PathSet) Group(tstart, src, dst int) *Group {
+	return ps.groups[tstart][src*ps.F.Sched.N+dst]
+}
+
+// SetAlpha retunes the weight factor live (§5.2): bucket thresholds are
+// α-free (Eqn. 4), so only the cost model's flow-to-bucket mapping changes;
+// no path or threshold recomputation is needed.
+func (ps *PathSet) SetAlpha(alpha float64) { ps.Model.Alpha = alpha }
+
+// GlobalThresholds returns the union of all bucket boundary values across
+// every UCMP group (§6.1): the globally recognizable stepping thresholds
+// for flow aging. Values within one slice-duration quantum are merged.
+func (ps *PathSet) GlobalThresholds() []float64 {
+	seen := make(map[int64]struct{})
+	var out []float64
+	for _, row := range ps.groups {
+		for _, g := range row {
+			if g == nil {
+				continue
+			}
+			for _, thr := range g.Thresholds() {
+				k := int64(thr) // thresholds are whole byte counts apart
+				if _, ok := seen[k]; !ok {
+					seen[k] = struct{}{}
+					out = append(out, thr)
+				}
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// GlobalBucketCount returns the number of flow-aging buckets a host needs
+// (Table 2 column "#Buckets"): intervals between the global thresholds.
+func (ps *PathSet) GlobalBucketCount() int { return len(ps.GlobalThresholds()) + 1 }
+
+// RelaxedTwoHop implements latency relaxation for long flows (§4.3): all
+// 2-hop paths src->mid->dst with relaxed (non-minimal) latencies. Unlike
+// VLB, a relaxed path may wait at the source for a better circuit rather
+// than forwarding immediately. Paths are sorted by latency; maxLatency (in
+// slices, 0 = no cap) prunes the tail. The hop-count term of the uniform
+// cost dominates for the long flows these serve, so every returned path
+// still has lower uniform cost than forcing the flow onto the single
+// minimum-latency path.
+func (ps *PathSet) RelaxedTwoHop(tstart, src, dst int, maxLatency int64) []*Path {
+	sched := ps.F.Sched
+	start := int64(tstart)
+	var out []*Path
+	for mid := 0; mid < sched.N; mid++ {
+		if mid == src || mid == dst {
+			continue
+		}
+		e1 := sched.NextDirect(src, mid, start)
+		e2 := sched.NextDirect(mid, dst, e1)
+		p := &Path{Src: src, Dst: dst, StartSlice: start, Hops: []Hop{
+			{To: mid, Slice: e1},
+			{To: dst, Slice: e2},
+		}}
+		if maxLatency > 0 && p.LatencySlices() > maxLatency {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].EndSlice() < out[j].EndSlice()
+	})
+	return out
+}
+
+// BackupPaths prepares backup 2-hop paths for failure recovery (§5.3).
+// They matter in the slices where a direct circuit makes the 1-hop path the
+// sole member of the group; `exclude` drops candidates traversing failed
+// ToRs. Up to k paths are returned, cheapest first.
+func (ps *PathSet) BackupPaths(tstart, src, dst, k int, exclude func(tor int) bool) []*Path {
+	all := ps.RelaxedTwoHop(tstart, src, dst, 0)
+	var out []*Path
+	for _, p := range all {
+		if exclude != nil && exclude(p.Hops[0].To) {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// SingleSliceShare returns the fraction of (t_start, src, dst) groups whose
+// only member is the direct path (§5.3 reports 5.6% of the time for the
+// paper's network), and the share of total UCMP paths that would need a
+// backup (3.9% in the paper).
+func (ps *PathSet) SingleSliceShare() (groupShare, pathShare float64) {
+	single, groups, paths := 0, 0, 0
+	for _, row := range ps.groups {
+		for _, g := range row {
+			if g == nil {
+				continue
+			}
+			groups++
+			np := g.NumPaths()
+			paths += np
+			if np == 1 {
+				single++
+			}
+		}
+	}
+	if groups == 0 {
+		return 0, 0
+	}
+	return float64(single) / float64(groups), float64(single) / float64(paths)
+}

@@ -1,0 +1,215 @@
+// Package failure injects ToR, link, and circuit-switch failures and
+// classifies UCMP's recovery options (§5.3, Fig 12): an affected path can
+// transition to a shorter, same-length, or longer path within its UCMP
+// group (or a backup 2-hop path for singleton groups), or be unrecoverable.
+package failure
+
+import (
+	"math"
+	"math/rand"
+
+	"ucmp/internal/core"
+	"ucmp/internal/topo"
+)
+
+// Scenario is one sampled failure pattern.
+type Scenario struct {
+	F *topo.Fabric
+
+	torDown    []bool
+	linkDown   map[[2]int]bool // (tor, circuit switch)
+	switchDown []bool
+}
+
+// NewScenario returns an all-healthy scenario.
+func NewScenario(f *topo.Fabric) *Scenario {
+	return &Scenario{
+		F:          f,
+		torDown:    make([]bool, f.Sched.N),
+		linkDown:   make(map[[2]int]bool),
+		switchDown: make([]bool, f.Sched.D),
+	}
+}
+
+// FailToRs marks a fraction of ToRs failed.
+func (s *Scenario) FailToRs(frac float64, rng *rand.Rand) *Scenario {
+	for _, i := range pick(s.F.Sched.N, frac, rng) {
+		s.torDown[i] = true
+	}
+	return s
+}
+
+// FailLinks marks a fraction of ToR-to-circuit-switch links failed.
+func (s *Scenario) FailLinks(frac float64, rng *rand.Rand) *Scenario {
+	n, d := s.F.Sched.N, s.F.Sched.D
+	for _, i := range pick(n*d, frac, rng) {
+		s.linkDown[[2]int{i / d, i % d}] = true
+	}
+	return s
+}
+
+// FailSwitches marks a fraction of circuit switches failed.
+func (s *Scenario) FailSwitches(frac float64, rng *rand.Rand) *Scenario {
+	for _, i := range pick(s.F.Sched.D, frac, rng) {
+		s.switchDown[i] = true
+	}
+	return s
+}
+
+func pick(n int, frac float64, rng *rand.Rand) []int {
+	// Round up so nearby fractions stay distinguishable on small fabrics
+	// (1% vs 3% of 48 links must differ).
+	k := int(math.Ceil(frac * float64(n)))
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}
+
+// TorOK reports whether a ToR is healthy.
+func (s *Scenario) TorOK(tor int) bool { return !s.torDown[tor] }
+
+// LinkOK reports whether the (tor, switch) cable and the switch itself are
+// healthy.
+func (s *Scenario) LinkOK(tor, sw int) bool {
+	return !s.switchDown[sw] && !s.linkDown[[2]int{tor, sw}]
+}
+
+// HopOK reports whether the circuit hop from -> to in the given absolute
+// slice is usable.
+func (s *Scenario) HopOK(from, to int, absSlice int64) bool {
+	if !s.TorOK(from) || !s.TorOK(to) {
+		return false
+	}
+	c := s.F.CyclicSlice(absSlice)
+	sw := s.F.Sched.SwitchFor(c, from, to)
+	if sw < 0 {
+		return false
+	}
+	return s.LinkOK(from, sw) && s.LinkOK(to, sw)
+}
+
+// PathOK reports whether every hop of a UCMP path is usable.
+func (s *Scenario) PathOK(p *core.Path) bool {
+	from := p.Src
+	for _, h := range p.Hops {
+		if !s.HopOK(from, h.To, h.Slice) {
+			return false
+		}
+		from = h.To
+	}
+	return true
+}
+
+// Recovery classifies the §5.3 outcome for one affected path.
+type Recovery int
+
+const (
+	// Shorter: a healthy group path with fewer hops.
+	Shorter Recovery = iota
+	// SameLength: a healthy group path with the same hop count (preserves
+	// the minimum uniform cost).
+	SameLength
+	// Longer: only healthy paths with more hops remain (backup 2-hop paths
+	// for singleton direct groups count here when they add hops).
+	Longer
+	// Unrecoverable: no healthy alternative at all.
+	Unrecoverable
+)
+
+func (r Recovery) String() string {
+	switch r {
+	case Shorter:
+		return "shorter"
+	case SameLength:
+		return "same-length"
+	case Longer:
+		return "longer"
+	default:
+		return "unrecoverable"
+	}
+}
+
+// Breakdown is the Fig 12a-c result: the share of affected paths per
+// recovery class, plus totals.
+type Breakdown struct {
+	Affected int
+	Total    int
+	Share    [4]float64
+}
+
+// Classify walks every UCMP path of the PathSet, finds the affected ones
+// (traversing a failed element, endpoints healthy), and classifies the best
+// healthy alternative: same group first, then backup 2-hop paths.
+func Classify(ps *core.PathSet, sc *Scenario) Breakdown {
+	var b Breakdown
+	var counts [4]int
+	sched := ps.F.Sched
+	for ts := 0; ts < sched.S; ts++ {
+		for src := 0; src < sched.N; src++ {
+			if !sc.TorOK(src) {
+				continue
+			}
+			for dst := 0; dst < sched.N; dst++ {
+				if dst == src || !sc.TorOK(dst) {
+					continue
+				}
+				g := ps.Group(ts, src, dst)
+				for _, e := range g.Entries {
+					for _, p := range e.Paths {
+						b.Total++
+						if sc.PathOK(p) {
+							continue
+						}
+						b.Affected++
+						counts[classifyOne(ps, sc, g, ts, p)]++
+					}
+				}
+			}
+		}
+	}
+	if b.Affected > 0 {
+		for i, c := range counts {
+			b.Share[i] = float64(c) / float64(b.Affected)
+		}
+	}
+	return b
+}
+
+func classifyOne(ps *core.PathSet, sc *Scenario, g *core.Group, ts int, broken *core.Path) Recovery {
+	// Preferred recovery preserves the hop count (and hence the minimum
+	// uniform cost for the affected buckets); otherwise any healthy group
+	// member, shorter first; finally the 2-hop backups (§5.3).
+	sawShorter, sawLonger := false, false
+	for _, e := range g.Entries {
+		for _, p := range e.Paths {
+			if p == broken || !sc.PathOK(p) {
+				continue
+			}
+			switch {
+			case p.HopCount() == broken.HopCount():
+				return SameLength
+			case p.HopCount() < broken.HopCount():
+				sawShorter = true
+			default:
+				sawLonger = true
+			}
+		}
+	}
+	if sawShorter {
+		return Shorter
+	}
+	if sawLonger {
+		return Longer
+	}
+	for _, p := range ps.BackupPaths(ts, broken.Src, broken.Dst, 8, func(tor int) bool { return !sc.TorOK(tor) }) {
+		if sc.PathOK(p) {
+			if p.HopCount() == broken.HopCount() {
+				return SameLength
+			}
+			return Longer
+		}
+	}
+	return Unrecoverable
+}

@@ -1,0 +1,153 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/topo"
+)
+
+func fixture(t testing.TB) (*topo.Fabric, *core.PathSet) {
+	t.Helper()
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	return f, core.BuildPathSet(f, 0.5)
+}
+
+func TestHealthyScenarioPassesEverything(t *testing.T) {
+	f, ps := fixture(t)
+	sc := NewScenario(f)
+	for src := 0; src < f.NumToRs; src++ {
+		if !sc.TorOK(src) {
+			t.Fatal("healthy ToR reported failed")
+		}
+	}
+	b := Classify(ps, sc)
+	if b.Affected != 0 {
+		t.Fatalf("healthy scenario affected %d paths", b.Affected)
+	}
+	if b.Total == 0 {
+		t.Fatal("no paths walked")
+	}
+}
+
+func TestFailToRsAffectsPaths(t *testing.T) {
+	f, ps := fixture(t)
+	sc := NewScenario(f).FailToRs(0.1, rand.New(rand.NewSource(1)))
+	failed := 0
+	for tor := 0; tor < f.NumToRs; tor++ {
+		if !sc.TorOK(tor) {
+			failed++
+		}
+	}
+	if failed < 1 || failed > 3 {
+		t.Fatalf("failed %d ToRs for 10%% of 16", failed)
+	}
+	b := Classify(ps, sc)
+	if b.Affected == 0 {
+		t.Fatal("no affected paths")
+	}
+	sum := b.Share[0] + b.Share[1] + b.Share[2] + b.Share[3]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum %v", sum)
+	}
+	// The paper's headline: the large majority recover to a same-length
+	// path, and unrecoverable stays tiny at 10% ToR failures.
+	if b.Share[SameLength] < 0.4 {
+		t.Errorf("same-length share %.2f unexpectedly low", b.Share[SameLength])
+	}
+	if b.Share[Unrecoverable] > 0.05 {
+		t.Errorf("unrecoverable share %.3f above 5%%", b.Share[Unrecoverable])
+	}
+}
+
+func TestFailLinksHopOK(t *testing.T) {
+	f, _ := fixture(t)
+	sc := NewScenario(f)
+	sc.FailLinks(0.05, rand.New(rand.NewSource(2)))
+	// Find a failed link and verify HopOK rejects hops over it.
+	found := false
+	for tor := 0; tor < f.NumToRs && !found; tor++ {
+		for sw := 0; sw < f.Uplinks && !found; sw++ {
+			if sc.LinkOK(tor, sw) {
+				continue
+			}
+			found = true
+			for sl := 0; sl < f.Sched.S; sl++ {
+				peer := f.Sched.PeerOf(sl, tor, sw)
+				// Unless another healthy switch realizes the same pair in
+				// this slice, the hop must be rejected.
+				alt := false
+				for sw2 := 0; sw2 < f.Uplinks; sw2++ {
+					if sw2 != sw && f.Sched.PeerOf(sl, tor, sw2) == peer && sc.LinkOK(tor, sw2) && sc.LinkOK(peer, sw2) {
+						alt = true
+					}
+				}
+				if !alt && sc.HopOK(tor, peer, int64(sl)) {
+					t.Fatalf("hop over failed link (%d,%d) accepted in slice %d", tor, sw, sl)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no link failed")
+	}
+}
+
+func TestFailSwitchesConnectivity(t *testing.T) {
+	f, ps := fixture(t)
+	// 1 of 3 switches down (the paper's 16.6% is 1 of 6).
+	sc := NewScenario(f).FailSwitches(0.3, rand.New(rand.NewSource(3)))
+	b := Classify(ps, sc)
+	if b.Affected == 0 {
+		t.Fatal("switch failure affected nothing")
+	}
+	// Connectivity is preserved: unrecoverable must be rare (<5%) at 1/3
+	// switches down on the scaled fabric.
+	if b.Share[Unrecoverable] > 0.05 {
+		t.Errorf("unrecoverable %.3f with one switch down", b.Share[Unrecoverable])
+	}
+}
+
+func TestHopOKRequiresCircuit(t *testing.T) {
+	f, _ := fixture(t)
+	sc := NewScenario(f)
+	// A hop with no circuit in that slice is invalid even when healthy.
+	for sl := 0; sl < f.Sched.S; sl++ {
+		nb := f.Sched.Neighbors(nil, sl, 0)
+		for dst := 1; dst < f.NumToRs; dst++ {
+			connected := false
+			for _, p := range nb {
+				if p == dst {
+					connected = true
+				}
+			}
+			if sc.HopOK(0, dst, int64(sl)) != connected {
+				t.Fatalf("HopOK(0,%d,slice %d) = %v, connected = %v", dst, sl, sc.HopOK(0, dst, int64(sl)), connected)
+			}
+		}
+	}
+}
+
+func TestRecoveryString(t *testing.T) {
+	for r, want := range map[Recovery]string{
+		Shorter: "shorter", SameLength: "same-length", Longer: "longer", Unrecoverable: "unrecoverable",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestPickBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if got := pick(10, 0, rng); len(got) != 0 {
+		t.Fatal("zero fraction picked something")
+	}
+	if got := pick(10, 0.01, rng); len(got) != 1 {
+		t.Fatal("nonzero fraction picked nothing")
+	}
+	if got := pick(10, 5.0, rng); len(got) != 10 {
+		t.Fatal("overshoot not clamped")
+	}
+}

@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"ucmp/internal/metrics"
+	"ucmp/internal/netsim"
+	"ucmp/internal/plot"
+	"ucmp/internal/sim"
+	"ucmp/internal/transport"
+)
+
+// Scheme pairs a routing kind with its paper transport (§7.1).
+type Scheme struct {
+	Name      string
+	Routing   RoutingKind
+	Transport transport.Kind
+	Relax     bool
+}
+
+// Fig6Schemes are the seven curves of Fig 6.
+func Fig6Schemes(dataMining bool) []Scheme {
+	return []Scheme{
+		{"ucmp+dctcp", UCMP, transport.DCTCP, dataMining},
+		{"ucmp+ndp", UCMP, transport.NDP, dataMining},
+		{"vlb", VLB, transport.DCTCP, false}, // rotor-class carries all data
+		{"ksp-1+dctcp", KSP1, transport.DCTCP, false},
+		{"ksp-5+dctcp", KSP5, transport.DCTCP, false},
+		{"opera-1+ndp", Opera1, transport.NDP, false},
+		{"opera-5+ndp", Opera5, transport.NDP, false},
+	}
+}
+
+// SchemeResult couples a scheme with its run result.
+type SchemeResult struct {
+	Scheme Scheme
+	Result *Result
+}
+
+// RunSchemes executes one run per scheme over a base config.
+func RunSchemes(base SimConfig, schemes []Scheme) ([]SchemeResult, error) {
+	var out []SchemeResult
+	for _, sc := range schemes {
+		cfg := base
+		cfg.Routing = sc.Routing
+		cfg.Transport = sc.Transport
+		cfg.Relax = sc.Relax
+		cfg.ScheduleKind = ScheduleFor(sc.Routing)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchemeResult{Scheme: sc, Result: res})
+	}
+	return out, nil
+}
+
+// Fig6FCT runs the FCT comparison (Fig 6a web search / 6b data mining).
+func Fig6FCT(base SimConfig, wl string, schemes []Scheme) (*Report, []SchemeResult, error) {
+	base.Workload = wl
+	results, err := RunSchemes(base, schemes)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 6 FCT vs flow size, " + wl + " (avg FCT per size bin)"}
+	r.Addf("%-14s %-10s %-10s %-10s %-10s %-9s %-7s", "scheme", "<=10KB", "<=100KB", "<=1MB", ">1MB", "complete", "reroute")
+	for _, sr := range results {
+		bins := coarseBins(sr.Result.Collector)
+		r.Addf("%-14s %-10s %-10s %-10s %-10s %-9.2f %-7.4f",
+			sr.Scheme.Name, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]),
+			sr.Result.CompletionRate, sr.Result.ReroutedFrac)
+	}
+	return r, results, nil
+}
+
+// coarseBins averages FCT within 4 coarse size classes.
+func coarseBins(c *metrics.Collector) [4]sim.Time {
+	edges := []int64{0, 10 << 10, 100 << 10, 1 << 20, 1 << 62}
+	var sums [4]sim.Time
+	var counts [4]int
+	for _, fr := range c.Flows {
+		for i := 0; i < 4; i++ {
+			if fr.Size > edges[i] && fr.Size <= edges[i+1] {
+				sums[i] += fr.FCT
+				counts[i]++
+				break
+			}
+		}
+	}
+	var out [4]sim.Time
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / sim.Time(counts[i])
+		}
+	}
+	return out
+}
+
+func fmtT(t sim.Time) string {
+	if t == 0 {
+		return "-"
+	}
+	return t.String()
+}
+
+// Fig6Efficiency reports bandwidth efficiency per scheme (Fig 6c/6d).
+func Fig6Efficiency(results []SchemeResult, wl string) *Report {
+	r := &Report{Title: "Fig 6 bandwidth efficiency, " + wl}
+	r.Addf("%-14s %-12s", "scheme", "efficiency")
+	for _, sr := range results {
+		r.Addf("%-14s %-12.3f", sr.Scheme.Name, sr.Result.Efficiency)
+	}
+	r.Addf("(1.0 = every byte crosses one ToR-ToR hop; VLB sits near 0.5)")
+	labels := make([]string, len(results))
+	values := make([]float64, len(results))
+	for i, sr := range results {
+		labels[i], values[i] = sr.Scheme.Name, sr.Result.Efficiency
+	}
+	for _, line := range plot.BarChart(labels, values, 28) {
+		r.Addf("%s", line)
+	}
+	return r
+}
+
+// Fig7LinkUtil reports mean link utilizations over time per scheme
+// (Fig 7 web search; Fig 17 data mining).
+func Fig7LinkUtil(base SimConfig, wl string, schemes []Scheme) (*Report, []SchemeResult, error) {
+	base.Workload = wl
+	if base.SampleEvery == 0 {
+		base.SampleEvery = 500 * sim.Microsecond
+	}
+	results, err := RunSchemes(base, schemes)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 7/17 mean link utilization, " + wl}
+	r.Addf("%-14s %-14s %-14s %s", "scheme", "ToR-to-host", "ToR-to-ToR", "core util over time")
+	for _, sr := range results {
+		col := sr.Result.Collector
+		series := make([]float64, 0, len(col.Samples))
+		for _, s := range col.Samples {
+			series = append(series, s.TorToTorUtil)
+		}
+		r.Addf("%-14s %-14.3f %-14.3f %s",
+			sr.Scheme.Name,
+			col.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToHostUtil }),
+			col.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil }),
+			plot.Sparkline(series))
+	}
+	return r, results, nil
+}
+
+// Fig8Bucketing compares flow bucketing against accurate flow size stamping.
+func Fig8Bucketing(base SimConfig) (*Report, [2]*Result, error) {
+	base.Workload = "websearch"
+	base.Routing = UCMP
+	base.Transport = transport.DCTCP
+	var out [2]*Result
+	r := &Report{Title: "Fig 8: accurate flow size vs flow bucketing (UCMP+DCTCP, web search)"}
+	r.Addf("%-18s %-10s %-10s %-10s %-10s %-8s", "variant", "<=10KB", "<=100KB", "<=1MB", ">1MB", "p99")
+	for i, accurate := range []bool{true, false} {
+		cfg := base
+		cfg.AccurateFlowSize = accurate
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, out, err
+		}
+		out[i] = res
+		name := "flow bucketing"
+		if accurate {
+			name = "accurate size"
+		}
+		bins := coarseBins(res.Collector)
+		r.Addf("%-18s %-10s %-10s %-10s %-10s %-8s",
+			name, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]),
+			res.Collector.Percentile(0.99))
+	}
+	return r, out, nil
+}
+
+// Fig9Reconf sweeps the reconfiguration delay.
+func Fig9Reconf(base SimConfig, delays []sim.Time) (*Report, []*Result, error) {
+	base.Workload = "websearch"
+	base.Routing = UCMP
+	base.Transport = transport.DCTCP
+	r := &Report{Title: "Fig 9: FCT under reconfiguration delays (UCMP+DCTCP)"}
+	r.Addf("%-10s %-10s %-10s %-10s %-10s %-10s", "reconf", "duty", "<=10KB", "<=100KB", "<=1MB", ">1MB")
+	var out []*Result
+	for _, d := range delays {
+		cfg := base
+		cfg.Topo.ReconfDelay = d
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res)
+		bins := coarseBins(res.Collector)
+		r.Addf("%-10s %-10.3f %-10s %-10s %-10s %-10s",
+			d, cfg.Topo.DutyCycle(), fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]))
+	}
+	return r, out, nil
+}
+
+// Fig10Alpha sweeps the weight factor α (Fig 10a/10b).
+func Fig10Alpha(base SimConfig, alphas []float64) (*Report, []*Result, error) {
+	base.Workload = "websearch"
+	base.Routing = UCMP
+	base.Transport = transport.DCTCP
+	if base.SampleEvery == 0 {
+		base.SampleEvery = 500 * sim.Microsecond
+	}
+	r := &Report{Title: "Fig 10: weight factor alpha (UCMP+DCTCP, web search)"}
+	r.Addf("%-7s %-14s %-12s %-10s %-10s %-10s", "alpha", "ToR-ToR util", "efficiency", "<=10KB", "<=100KB", ">1MB")
+	var out []*Result
+	for _, a := range alphas {
+		cfg := base
+		cfg.Alpha = a
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res)
+		bins := coarseBins(res.Collector)
+		util := res.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil })
+		r.Addf("%-7.2f %-14.3f %-12.3f %-10s %-10s %-10s",
+			a, util, res.Efficiency, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]))
+	}
+	r.Addf("(larger alpha -> shorter paths -> lower core utilization, Fig 10a)")
+	return r, out, nil
+}
+
+// Fig11Slice sweeps the time slice duration (Fig 11a/11b).
+func Fig11Slice(base SimConfig, durs []sim.Time) (*Report, []*Result, error) {
+	base.Workload = "websearch"
+	base.Routing = UCMP
+	base.Transport = transport.DCTCP
+	r := &Report{Title: "Fig 11: time slice duration (UCMP+DCTCP, web search)"}
+	r.Addf("%-10s %-12s %-10s %-10s %-10s %-8s", "slice", "efficiency", "<=10KB", "<=100KB", ">1MB", "reroute")
+	var out []*Result
+	for _, u := range durs {
+		cfg := base
+		cfg.Topo.SliceDuration = u
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res)
+		bins := coarseBins(res.Collector)
+		r.Addf("%-10s %-12.3f %-10s %-10s %-10s %-8.4f",
+			u, res.Efficiency, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]), res.ReroutedFrac)
+	}
+	return r, out, nil
+}
+
+// Fig12d runs UCMP under physical link failures.
+func Fig12d(base SimConfig, fracs []float64) (*Report, []*Result, error) {
+	base.Workload = "websearch"
+	base.Routing = UCMP
+	base.Transport = transport.DCTCP
+	r := &Report{Title: "Fig 12d: FCT under faulty links (UCMP+DCTCP, web search)"}
+	r.Addf("%-8s %-10s %-10s %-10s %-10s %-9s", "faulty", "<=10KB", "<=100KB", "<=1MB", ">1MB", "complete")
+	var out []*Result
+	for _, fr := range fracs {
+		cfg := base
+		cfg.LinkFailFrac = fr
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res)
+		bins := coarseBins(res.Collector)
+		r.Addf("%-8.2f %-10s %-10s %-10s %-10s %-9.2f",
+			fr, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]), res.CompletionRate)
+	}
+	return r, out, nil
+}
+
+// Fig15LoadBalance reports the Jain load-balance metric per scheme.
+func Fig15LoadBalance(base SimConfig, schemes []Scheme) (*Report, []SchemeResult, error) {
+	base.Workload = "websearch"
+	if base.SampleEvery == 0 {
+		base.SampleEvery = 500 * sim.Microsecond
+	}
+	results, err := RunSchemes(base, schemes)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 15: Jain load-balance metric (web search)"}
+	r.Addf("%-14s %-12s %-14s", "scheme", "whole-run", "per-window")
+	for _, sr := range results {
+		r.Addf("%-14s %-12.3f %-14.3f", sr.Scheme.Name,
+			sr.Result.JainCumulative,
+			sr.Result.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.JainLoadIndex }))
+	}
+	r.Addf("(1.0 = perfectly balanced; paper: VLB ~1.0, UCMP ~0.9)")
+	return r, results, nil
+}

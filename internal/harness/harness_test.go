@@ -1,0 +1,340 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+// quickBase returns a very small run for test speed.
+func quickBase() SimConfig {
+	cfg := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	cfg.Duration = 1 * sim.Millisecond
+	cfg.Horizon = 6 * sim.Millisecond
+	cfg.MaxFlowSize = 8 << 20
+	return cfg
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(quickBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched == 0 {
+		t.Fatal("no flows generated")
+	}
+	if res.CompletionRate < 0.8 {
+		t.Fatalf("completion rate %.2f too low (drops=%d)", res.CompletionRate, res.Counters.DroppedPackets)
+	}
+	if res.Efficiency <= 0 || res.Efficiency > 1 {
+		t.Fatalf("efficiency %v out of range", res.Efficiency)
+	}
+}
+
+func TestRunUnknownRouting(t *testing.T) {
+	cfg := quickBase()
+	cfg.Routing = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus routing accepted")
+	}
+	cfg = quickBase()
+	cfg.Workload = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	r := Table1()
+	s := r.String()
+	for _, want := range []string{"140.0", "68.0", "60.8", "325.0", "8.2", "min-cost"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 1 report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	r := Table3([]Table3Row{{1, 108, 6}, {1, 324, 6}})
+	s := r.String()
+	if !strings.Contains(s, "II") {
+		t.Fatalf("expected case II rows:\n%s", s)
+	}
+	// (1us, 108, 6) -> S=5, Q=5 per the paper.
+	if !strings.Contains(s, "5") {
+		t.Fatalf("missing S/Q values:\n%s", s)
+	}
+}
+
+func TestTable2Scaled(t *testing.T) {
+	rep, rows := Table2([]Table2Row{{108, 6}})
+	if len(rows) != 1 {
+		t.Fatal("missing row")
+	}
+	u := rows[0]
+	if u.QueuesPerPort != 18 {
+		t.Fatalf("queues/port=%d, want 18", u.QueuesPerPort)
+	}
+	if u.Buckets < 5 || u.Buckets > 64 {
+		t.Fatalf("buckets=%d out of DSCP-plausible range", u.Buckets)
+	}
+	if u.EntriesPerToR < 2000 || u.EntriesPerToR > 40000 {
+		t.Fatalf("entries/ToR=%d implausible (paper: 9.5K)", u.EntriesPerToR)
+	}
+	if u.SRAMPct <= 0 || u.SRAMPct > 10 {
+		t.Fatalf("SRAM%%=%v implausible", u.SRAMPct)
+	}
+	_ = rep.String()
+}
+
+func TestFig5aScaled(t *testing.T) {
+	fab := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	ps := core.BuildPathSet(fab, 0.5)
+	rep, st := Fig5a(ps)
+	if st.MeanGroupSize < 1.5 {
+		t.Fatalf("mean group size %.2f too small", st.MeanGroupSize)
+	}
+	if st.MultiPathShare < 0.5 {
+		t.Fatalf("multi-path share %.2f too small", st.MultiPathShare)
+	}
+	if st.EdgeDisjointShare < 0.5 {
+		t.Fatalf("edge-disjoint share %.2f too small", st.EdgeDisjointShare)
+	}
+	_ = rep.String()
+}
+
+func TestFig5bScaled(t *testing.T) {
+	fab := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	ps := core.BuildPathSet(fab, 0.5)
+	rep, dists := Fig5b(ps, 1)
+	if len(dists) != 5 {
+		t.Fatalf("want 5 schemes, got %d", len(dists))
+	}
+	byName := map[string]float64{}
+	for _, d := range dists {
+		byName[d.Name] = d.Mean
+	}
+	// Paper shape: UCMP has the lowest mean hop count; k=5 exceeds k=1;
+	// Opera exceeds KSP at the same k.
+	if byName["ucmp"] > byName["ksp-1"] {
+		t.Errorf("UCMP mean hops %.2f above KSP-1 %.2f", byName["ucmp"], byName["ksp-1"])
+	}
+	if byName["ksp-5"] < byName["ksp-1"] {
+		t.Errorf("KSP-5 hops %.2f below KSP-1 %.2f", byName["ksp-5"], byName["ksp-1"])
+	}
+	if byName["opera-1"] < byName["ksp-1"] {
+		t.Errorf("Opera-1 hops %.2f below KSP-1 %.2f", byName["opera-1"], byName["ksp-1"])
+	}
+	_ = rep.String()
+}
+
+func TestFig12abcScaled(t *testing.T) {
+	fab := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	ps := core.BuildPathSet(fab, 0.5)
+	rep, out := Fig12abc(ps, 1)
+	for label, rows := range out {
+		for _, b := range rows {
+			if b.Affected == 0 {
+				t.Errorf("%s: no affected paths", label)
+			}
+			total := b.Share[0] + b.Share[1] + b.Share[2] + b.Share[3]
+			if total < 0.999 || total > 1.001 {
+				t.Errorf("%s: shares sum to %v", label, total)
+			}
+		}
+	}
+	_ = rep.String()
+}
+
+func TestFig14Probabilities(t *testing.T) {
+	rep, out := Fig14()
+	row := out[[2]int{108, 6}]
+	if len(row) != 6 {
+		t.Fatal("want 6 c values")
+	}
+	// Monotone decreasing, and below 1e-10 by c=5 (S=5 for (108,6)).
+	for i := 1; i < len(row); i++ {
+		if row[i] > row[i-1] {
+			t.Fatalf("P not decreasing: %v", row)
+		}
+	}
+	if row[4] >= core.DefaultUnvisitedThreshold {
+		t.Fatalf("P(c=5)=%v not below threshold", row[4])
+	}
+	if row[3] < core.DefaultUnvisitedThreshold {
+		t.Fatalf("P(c=4)=%v already below threshold; S would be 4", row[3])
+	}
+	_ = rep.String()
+}
+
+func TestFig6QuickPair(t *testing.T) {
+	base := quickBase()
+	schemes := []Scheme{
+		{"ucmp+dctcp", UCMP, transport.DCTCP, false},
+		{"vlb", VLB, transport.DCTCP, false},
+	}
+	rep, results, err := Fig6FCT(base, "websearch", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatal("missing results")
+	}
+	eff := Fig6Efficiency(results, "websearch")
+	if !strings.Contains(eff.String(), "vlb") {
+		t.Fatal("efficiency report missing scheme")
+	}
+	// Paper shape: UCMP beats VLB on bandwidth efficiency for web search.
+	if results[0].Result.Efficiency <= results[1].Result.Efficiency {
+		t.Errorf("UCMP efficiency %.3f not above VLB %.3f",
+			results[0].Result.Efficiency, results[1].Result.Efficiency)
+	}
+	_ = rep.String()
+}
+
+func TestFig8Quick(t *testing.T) {
+	rep, out, err := Fig8Bucketing(quickBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == nil || out[1] == nil {
+		t.Fatal("missing variants")
+	}
+	_ = rep.String()
+}
+
+func TestFig10Quick(t *testing.T) {
+	rep, out, err := Fig10Alpha(quickBase(), []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatal("missing alphas")
+	}
+	_ = rep.String()
+}
+
+func TestFig12dQuick(t *testing.T) {
+	rep, out, err := Fig12d(quickBase(), []float64{0.0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity preserved under 5% link failures (paper claim).
+	if out[1].CompletionRate < 0.7 {
+		t.Fatalf("completion under 5%% link failures: %.2f", out[1].CompletionRate)
+	}
+	_ = rep.String()
+}
+
+func TestFig9ReconfDegradation(t *testing.T) {
+	rep, out, err := Fig9Reconf(quickBase(), []sim.Time{10 * sim.Nanosecond, 10 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatal("missing delays")
+	}
+	// A 20% duty-cycle loss must not IMPROVE p50 FCT dramatically.
+	p50a := out[0].Collector.Percentile(0.5)
+	p50b := out[1].Collector.Percentile(0.5)
+	if p50b*3 < p50a {
+		t.Errorf("10us reconf p50 %v implausibly better than 10ns %v", p50b, p50a)
+	}
+	_ = rep.String()
+}
+
+func TestFig11SliceSweep(t *testing.T) {
+	rep, out, err := Fig11Slice(quickBase(), []sim.Time{50 * sim.Microsecond, 300 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer slices raise short-flow FCT (more circuit waiting, Fig 11b).
+	shortA := coarseBins(out[0].Collector)[0]
+	shortB := coarseBins(out[1].Collector)[0]
+	if shortB < shortA {
+		t.Errorf("300us slice short-flow FCT %v below 50us %v", shortB, shortA)
+	}
+	_ = rep.String()
+}
+
+func TestFig7UtilizationOrdering(t *testing.T) {
+	schemes := []Scheme{
+		{Name: "ucmp", Routing: UCMP, Transport: transport.DCTCP},
+		{Name: "vlb", Routing: VLB, Transport: transport.DCTCP},
+	}
+	rep, results, err := Fig7LinkUtil(quickBase(), "websearch", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VLB's 2-hop routing must load the core at least as much as UCMP
+	// relative to delivered traffic: core/host ratio higher for VLB.
+	ratio := func(r *Result) float64 {
+		host := r.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToHostUtil })
+		core := r.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil })
+		if host == 0 {
+			return 0
+		}
+		return core / host
+	}
+	if ratio(results[1].Result) < ratio(results[0].Result) {
+		t.Errorf("VLB core/host ratio %.2f below UCMP %.2f",
+			ratio(results[1].Result), ratio(results[0].Result))
+	}
+	_ = rep.String()
+}
+
+func TestFig15Runner(t *testing.T) {
+	schemes := []Scheme{{Name: "ucmp", Routing: UCMP, Transport: transport.DCTCP}}
+	rep, results, err := Fig15LoadBalance(quickBase(), schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := results[0].Result.JainCumulative
+	if j <= 0 || j > 1.0001 {
+		t.Fatalf("Jain %v out of range", j)
+	}
+	_ = rep.String()
+}
+
+func TestRunWithHotspot(t *testing.T) {
+	cfg := quickBase()
+	cfg.Hotspot = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched == 0 {
+		t.Fatal("no flows")
+	}
+}
+
+func TestRunBadPinPolicy(t *testing.T) {
+	cfg := quickBase()
+	cfg.PinPolicy = "nonsense"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad pin policy accepted")
+	}
+}
+
+func TestScheduleFor(t *testing.T) {
+	if ScheduleFor(Opera1) != "opera" || ScheduleFor(Opera5) != "opera" {
+		t.Fatal("opera schedule")
+	}
+	if ScheduleFor(UCMP) != "round-robin" || ScheduleFor(VLB) != "round-robin" {
+		t.Fatal("default schedule")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "x"}
+	r.Addf("a %d", 1)
+	s := r.String()
+	if !strings.Contains(s, "== x ==") || !strings.Contains(s, "a 1") {
+		t.Fatalf("rendering: %q", s)
+	}
+}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a printable experiment result: the harness regenerates each
+// paper table/figure as rows of text plus the raw series for programmatic
+// checks.
+type Report struct {
+	Title string
+	Lines []string
+}
+
+// Addf appends a formatted row.
+func (r *Report) Addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== " + r.Title + " ==\n")
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+// Package harness wires fabric + schedule + router + transport + workload
+// into runnable experiments, one per table and figure of the paper's
+// evaluation (§7, §8, appendices). cmd/ucmpbench and the repository's
+// bench_test.go are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+
+	"ucmp/internal/core"
+	"ucmp/internal/metrics"
+	"ucmp/internal/netsim"
+	"ucmp/internal/routing"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+	"ucmp/internal/workload"
+)
+
+// RoutingKind names a routing scheme under test.
+type RoutingKind string
+
+const (
+	UCMP   RoutingKind = "ucmp"
+	VLB    RoutingKind = "vlb"
+	KSP1   RoutingKind = "ksp1"
+	KSP5   RoutingKind = "ksp5"
+	Opera1 RoutingKind = "opera1"
+	Opera5 RoutingKind = "opera5"
+)
+
+// ScheduleFor returns the schedule kind a routing scheme requires (§7.1:
+// Opera uses its native staggered schedule; the rest use the fully
+// reconfigurable one).
+func ScheduleFor(r RoutingKind) string {
+	if r == Opera1 || r == Opera5 {
+		return "opera"
+	}
+	return "round-robin"
+}
+
+// SimConfig describes one packet-level simulation run.
+type SimConfig struct {
+	Topo         topo.Config
+	ScheduleKind string // empty: derived from Routing
+	Routing      RoutingKind
+	Transport    transport.Kind
+	Alpha        float64
+	Relax        bool // UCMP latency relaxation (§4.3)
+
+	// Workload selects the Poisson trace ("websearch"/"datamining");
+	// ignored when Flows is set explicitly.
+	Workload    string
+	Load        float64
+	MaxFlowSize int64 // clip sampled sizes (scaled runs); 0 = no clip
+	Duration    sim.Time
+	Flows       []*netsim.Flow
+
+	Horizon     sim.Time // 0: Duration * 4
+	SampleEvery sim.Time // 0: no sampling
+	Seed        int64
+
+	// AccurateFlowSize stamps buckets from the true flow size instead of
+	// flow aging (the Fig 8 comparison).
+	AccurateFlowSize bool
+
+	// PinPolicy ablates the uniform-cost policy: "min-latency" pins every
+	// UCMP decision to the globally minimum-latency path (bucket 0),
+	// "fewest-hops" to the fewest-hop path. Empty = normal uniform cost.
+	PinPolicy string
+
+	// MaxParallel caps the tied parallel paths kept per group entry; 0
+	// keeps the default (4). 1 ablates ECMP-style tie spreading.
+	MaxParallel int
+
+	// CongestionAware enables the §10 extension: online assignment steers
+	// around congested calendar queues within one bucket of slack.
+	CongestionAware bool
+	// Hotspot skews that probability mass of flows onto a few hot hosts.
+	Hotspot float64
+
+	// LinkFailFrac fails that fraction of ToR-uplink cables physically and
+	// in the UCMP health checks (Fig 12d).
+	LinkFailFrac float64
+}
+
+// ScaledConfig is the default fast configuration for one run.
+func ScaledConfig(r RoutingKind, t transport.Kind, wl string) SimConfig {
+	return SimConfig{
+		Topo:        topo.Scaled(),
+		Routing:     r,
+		Transport:   t,
+		Alpha:       0.5,
+		Workload:    wl,
+		Load:        0.4,
+		MaxFlowSize: 64 << 20,
+		Duration:    4 * sim.Millisecond,
+		Seed:        1,
+	}
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Config         SimConfig
+	Collector      *metrics.Collector
+	Counters       netsim.Counters
+	Efficiency     float64
+	ReroutedFrac   float64
+	CompletionRate float64
+	Launched       int
+	// JainCumulative is the whole-run Jain fairness over per-uplink-port
+	// bytes (Fig 15).
+	JainCumulative float64
+	// Flows are the run's flows (MPTCP subflows included), for trace
+	// export.
+	Flows []*netsim.Flow
+}
+
+// Bins groups the run's FCTs with the default flow-size bins.
+func (r *Result) Bins() []metrics.BinStat { return r.Collector.BySize(metrics.DefaultBins()) }
+
+// Run executes the simulation.
+func Run(cfg SimConfig) (*Result, error) {
+	schedKind := cfg.ScheduleKind
+	if schedKind == "" {
+		schedKind = ScheduleFor(cfg.Routing)
+	}
+	fab, err := topo.NewFabric(cfg.Topo, schedKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+
+	var router netsim.Router
+	var ucmpRouter *routing.UCMP
+	switch cfg.Routing {
+	case UCMP:
+		ps := core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
+		ucmpRouter = routing.NewUCMP(ps)
+		ucmpRouter.Relax = cfg.Relax
+		switch cfg.PinPolicy {
+		case "":
+		case "min-latency":
+			ucmpRouter.ForceBucket = 0
+		case "fewest-hops":
+			ucmpRouter.ForceBucket = ucmpRouter.Ager.NumBuckets() - 1
+		default:
+			return nil, fmt.Errorf("harness: unknown pin policy %q", cfg.PinPolicy)
+		}
+		router = ucmpRouter
+	case VLB:
+		router = routing.NewVLB(fab)
+	case KSP1:
+		router = routing.NewKSP(fab, 1)
+	case KSP5:
+		router = routing.NewKSP(fab, 5)
+	case Opera1:
+		router = routing.NewOpera(fab, 1)
+	case Opera5:
+		router = routing.NewOpera(fab, 5)
+	default:
+		return nil, fmt.Errorf("harness: unknown routing %q", cfg.Routing)
+	}
+
+	qs := transport.QueueSpec(cfg.Transport)
+	net := netsim.New(eng, fab, router, qs, qs, netsim.DefaultRotor())
+
+	if ucmpRouter != nil && cfg.CongestionAware {
+		ucmpRouter.Backlog = net.CalendarBacklog
+		ucmpRouter.CongestionThreshold = 32
+	}
+	if ucmpRouter != nil {
+		if cfg.AccurateFlowSize {
+			ager := ucmpRouter.Ager
+			net.Stamper = func(p *netsim.Packet) {
+				if p.Flow != nil && p.Type == netsim.Data {
+					p.Bucket = ager.Bucket(p.Flow.Size)
+				}
+			}
+		} else {
+			net.Stamper = ucmpRouter.StampBucket
+		}
+	}
+
+	if cfg.LinkFailFrac > 0 {
+		sc := newLinkFailures(fab, cfg.LinkFailFrac, cfg.Seed)
+		net.LinkDown = func(tor, sw int) bool { return !sc.LinkOK(tor, sw) }
+		if ucmpRouter != nil {
+			ucmpRouter.PathOK = sc.PathOK
+			ucmpRouter.TorOK = sc.TorOK
+		}
+	}
+
+	net.Start()
+
+	flows := cfg.Flows
+	if flows == nil {
+		dist, err := distByName(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		flows = workload.Generate(workload.PoissonConfig{
+			Dist:        dist,
+			NumHosts:    cfg.Topo.NumHosts(),
+			LinkBps:     cfg.Topo.LinkBps,
+			Load:        cfg.Load,
+			Duration:    cfg.Duration,
+			Seed:        cfg.Seed,
+			HostsPerToR: cfg.Topo.HostsPerToR,
+			MaxFlowSize: cfg.MaxFlowSize,
+			Hotspot:     cfg.Hotspot,
+		})
+	}
+
+	col := &metrics.Collector{}
+	col.Hook(net)
+	col.CountLaunched(len(flows))
+
+	stack := transport.NewStack(net, cfg.Transport)
+	for _, f := range flows {
+		stack.Launch(f)
+	}
+
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = 4 * cfg.Duration
+		if horizon == 0 {
+			horizon = 20 * sim.Millisecond
+		}
+	}
+	if cfg.SampleEvery > 0 {
+		col.StartSampling(net, cfg.SampleEvery, horizon)
+	}
+	eng.Run(horizon)
+
+	return &Result{
+		Config:         cfg,
+		Collector:      col,
+		Counters:       net.Counters,
+		Efficiency:     net.BandwidthEfficiency(),
+		ReroutedFrac:   net.ReroutedFraction(),
+		CompletionRate: col.CompletionRate(),
+		Launched:       len(flows),
+		JainCumulative: net.JainCumulative(),
+		Flows:          net.Flows(),
+	}, nil
+}
+
+// Shared wiring helpers, used by Run and by the extension runners.
+
+func newFabricFor(cfg SimConfig, topoCfg topo.Config) (*topo.Fabric, error) {
+	kind := cfg.ScheduleKind
+	if kind == "" {
+		kind = ScheduleFor(cfg.Routing)
+	}
+	return topo.NewFabric(topoCfg, kind, cfg.Seed)
+}
+
+func buildPathSetFor(fab *topo.Fabric, cfg SimConfig) *core.PathSet {
+	return core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
+}
+
+func newUCMPFor(ps *core.PathSet, cfg SimConfig) *routing.UCMP {
+	u := routing.NewUCMP(ps)
+	u.Relax = cfg.Relax
+	return u
+}
+
+func generateFlows(cfg SimConfig) []*netsim.Flow {
+	if cfg.Flows != nil {
+		return cfg.Flows
+	}
+	dist, err := distByName(cfg.Workload)
+	if err != nil {
+		panic(err)
+	}
+	return workload.Generate(workload.PoissonConfig{
+		Dist:        dist,
+		NumHosts:    cfg.Topo.NumHosts(),
+		LinkBps:     cfg.Topo.LinkBps,
+		Load:        cfg.Load,
+		Duration:    cfg.Duration,
+		Seed:        cfg.Seed,
+		HostsPerToR: cfg.Topo.HostsPerToR,
+		MaxFlowSize: cfg.MaxFlowSize,
+		Hotspot:     cfg.Hotspot,
+	})
+}
+
+func newCollector(net *netsim.Network, launched int) *metrics.Collector {
+	col := &metrics.Collector{}
+	col.Hook(net)
+	col.CountLaunched(launched)
+	return col
+}
+
+func distByName(name string) (*workload.Dist, error) {
+	switch name {
+	case "websearch":
+		return workload.WebSearch(), nil
+	case "datamining":
+		return workload.DataMining(), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown workload %q", name)
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics collects and aggregates the measurements the paper
+// reports: flow completion times by flow-size bin (Fig 6a/b, 8, 9, 10b,
+// 11b, 12d, 13), bandwidth efficiency (Fig 6c/d, 11a), link-utilization
+// time series (Fig 7, 10a, 17), and the Jain load-balance metric (Fig 15).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+// FlowRecord is the completion record of one flow.
+type FlowRecord struct {
+	Size     int64
+	FCT      sim.Time
+	Rotor    bool
+	Priority bool
+}
+
+// Collector accumulates flow completions and fabric samples.
+type Collector struct {
+	Flows   []FlowRecord
+	Samples []netsim.Sample
+
+	launched int
+}
+
+// Hook registers the collector on a network's completion callback.
+func (c *Collector) Hook(n *netsim.Network) {
+	n.OnFlowDone = func(f *netsim.Flow) {
+		if f.Child {
+			return // MPTCP stripes report through their parent
+		}
+		c.Flows = append(c.Flows, FlowRecord{Size: f.Size, FCT: f.FCT(), Rotor: f.RotorClass, Priority: f.Priority})
+	}
+}
+
+// CountLaunched tells the collector how many flows were started, enabling
+// CompletionRate.
+func (c *Collector) CountLaunched(n int) { c.launched += n }
+
+// CompletionRate returns completed/launched, or 1 when untracked.
+func (c *Collector) CompletionRate() float64 {
+	if c.launched == 0 {
+		return 1
+	}
+	return float64(len(c.Flows)) / float64(c.launched)
+}
+
+// StartSampling arms periodic fabric sampling until the horizon.
+func (c *Collector) StartSampling(n *netsim.Network, every, until sim.Time) {
+	var prev *netsim.Sample
+	var tick func()
+	tick = func() {
+		s := n.TakeSample(prev)
+		c.Samples = append(c.Samples, s)
+		prev = &c.Samples[len(c.Samples)-1]
+		if n.Eng.Now()+every <= until {
+			n.Eng.After(every, tick)
+		}
+	}
+	n.Eng.After(every, tick)
+}
+
+// BinStat aggregates FCTs of flows within one size bin.
+type BinStat struct {
+	Lo, Hi   int64 // [Lo, Hi)
+	Count    int
+	AvgFCT   sim.Time
+	P50FCT   sim.Time
+	P99FCT   sim.Time
+	MaxFCT   sim.Time
+	MeanMbps float64 // goodput Size*8/FCT averaged per flow
+}
+
+// DefaultBins returns log-spaced size bin edges from 1 KB to 1 GB (two bins
+// per decade), matching the x-axis of Fig 6.
+func DefaultBins() []int64 {
+	var edges []int64
+	for exp := 3.0; exp <= 9.01; exp += 0.5 {
+		edges = append(edges, int64(math.Round(math.Pow(10, exp))))
+	}
+	return edges
+}
+
+// BySize groups flow records into the given bins (edges ascending). Flows
+// below the first or at/above the last edge are clamped into the outer
+// bins.
+func (c *Collector) BySize(edges []int64) []BinStat {
+	bins := make([][]FlowRecord, len(edges)-1)
+	for _, fr := range c.Flows {
+		i := sort.Search(len(edges), func(i int) bool { return edges[i] > fr.Size }) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(bins) {
+			i = len(bins) - 1
+		}
+		bins[i] = append(bins[i], fr)
+	}
+	out := make([]BinStat, 0, len(bins))
+	for i, b := range bins {
+		st := BinStat{Lo: edges[i], Hi: edges[i+1], Count: len(b)}
+		if len(b) > 0 {
+			fcts := make([]sim.Time, len(b))
+			var sum sim.Time
+			var mbps float64
+			for j, fr := range b {
+				fcts[j] = fr.FCT
+				sum += fr.FCT
+				if fr.FCT > 0 {
+					mbps += float64(fr.Size) * 8 / fr.FCT.Seconds() / 1e6
+				}
+			}
+			sort.Slice(fcts, func(a, z int) bool { return fcts[a] < fcts[z] })
+			st.AvgFCT = sum / sim.Time(len(b))
+			st.P50FCT = fcts[len(fcts)/2]
+			st.P99FCT = fcts[(len(fcts)*99)/100]
+			st.MaxFCT = fcts[len(fcts)-1]
+			st.MeanMbps = mbps / float64(len(b))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// FCTCDF returns the (sorted FCT, cumulative probability) curve over all
+// recorded flows, optionally restricted to priority (foreground) flows —
+// the Fig 13 testbed plot.
+func (c *Collector) FCTCDF(priorityOnly bool) (fcts []sim.Time, probs []float64) {
+	for _, fr := range c.Flows {
+		if priorityOnly && !fr.Priority {
+			continue
+		}
+		fcts = append(fcts, fr.FCT)
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	probs = make([]float64, len(fcts))
+	for i := range fcts {
+		probs[i] = float64(i+1) / float64(len(fcts))
+	}
+	return fcts, probs
+}
+
+// Percentile returns the p-quantile (0..1) of recorded FCTs.
+func (c *Collector) Percentile(p float64) sim.Time {
+	if len(c.Flows) == 0 {
+		return 0
+	}
+	fcts := make([]sim.Time, len(c.Flows))
+	for i, fr := range c.Flows {
+		fcts[i] = fr.FCT
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	idx := int(p * float64(len(fcts)-1))
+	return fcts[idx]
+}
+
+// MeanUtil averages a selector over the collected samples, skipping the
+// warmup prefix.
+func (c *Collector) MeanUtil(skip int, sel func(netsim.Sample) float64) float64 {
+	if skip >= len(c.Samples) {
+		skip = 0
+	}
+	sum, n := 0.0, 0
+	for _, s := range c.Samples[skip:] {
+		sum += sel(s)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

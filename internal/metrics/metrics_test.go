@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"testing"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+func rec(size int64, fct sim.Time) FlowRecord { return FlowRecord{Size: size, FCT: fct} }
+
+func TestBySizeBins(t *testing.T) {
+	c := &Collector{Flows: []FlowRecord{
+		rec(5_000, 10*sim.Microsecond),
+		rec(6_000, 30*sim.Microsecond),
+		rec(500_000, 200*sim.Microsecond),
+		rec(50_000_000, 5*sim.Millisecond),
+	}}
+	edges := []int64{1_000, 10_000, 1_000_000, 100_000_000}
+	bins := c.BySize(edges)
+	if len(bins) != 3 {
+		t.Fatalf("%d bins, want 3", len(bins))
+	}
+	if bins[0].Count != 2 || bins[1].Count != 1 || bins[2].Count != 1 {
+		t.Fatalf("bin counts %d/%d/%d", bins[0].Count, bins[1].Count, bins[2].Count)
+	}
+	if bins[0].AvgFCT != 20*sim.Microsecond {
+		t.Fatalf("avg FCT %v", bins[0].AvgFCT)
+	}
+	if bins[0].P99FCT < bins[0].P50FCT {
+		t.Fatal("p99 below p50")
+	}
+	if bins[0].MaxFCT != 30*sim.Microsecond {
+		t.Fatalf("max FCT %v", bins[0].MaxFCT)
+	}
+	if bins[0].MeanMbps <= 0 {
+		t.Fatal("goodput not computed")
+	}
+}
+
+func TestBySizeClamping(t *testing.T) {
+	c := &Collector{Flows: []FlowRecord{
+		rec(1, sim.Microsecond), // below first edge
+		rec(1<<40, sim.Second),  // beyond last edge
+		rec(50_000, 2*sim.Microsecond),
+	}}
+	bins := c.BySize([]int64{1_000, 100_000, 10_000_000})
+	if bins[0].Count != 2 { // tiny flow clamped into first bin
+		t.Fatalf("first bin %d", bins[0].Count)
+	}
+	if bins[1].Count != 1 { // huge flow clamped into last bin
+		t.Fatalf("last bin %d", bins[1].Count)
+	}
+}
+
+func TestDefaultBins(t *testing.T) {
+	edges := DefaultBins()
+	if edges[0] != 1000 {
+		t.Fatalf("first edge %d", edges[0])
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatal("edges not ascending")
+		}
+	}
+	if edges[len(edges)-1] < 1_000_000_000 {
+		t.Fatalf("last edge %d below 1GB", edges[len(edges)-1])
+	}
+}
+
+func TestFCTCDF(t *testing.T) {
+	c := &Collector{Flows: []FlowRecord{
+		{Size: 1, FCT: 3, Priority: true},
+		{Size: 1, FCT: 1, Priority: true},
+		{Size: 1, FCT: 2, Priority: false},
+	}}
+	fcts, probs := c.FCTCDF(true)
+	if len(fcts) != 2 || fcts[0] != 1 || fcts[1] != 3 {
+		t.Fatalf("priority CDF %v", fcts)
+	}
+	if probs[1] != 1.0 {
+		t.Fatalf("probs %v", probs)
+	}
+	all, _ := c.FCTCDF(false)
+	if len(all) != 3 {
+		t.Fatalf("full CDF %v", all)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	c := &Collector{}
+	if c.Percentile(0.99) != 0 {
+		t.Fatal("empty percentile")
+	}
+	for i := 1; i <= 100; i++ {
+		c.Flows = append(c.Flows, rec(1, sim.Time(i)))
+	}
+	if p := c.Percentile(0.5); p < 49 || p > 52 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := c.Percentile(0.99); p < 98 || p > 100 {
+		t.Fatalf("p99 = %v", p)
+	}
+}
+
+func TestMeanUtil(t *testing.T) {
+	c := &Collector{Samples: []netsim.Sample{
+		{TorToTorUtil: 1.0}, // warmup, skipped
+		{TorToTorUtil: 0.4},
+		{TorToTorUtil: 0.6},
+	}}
+	got := c.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil })
+	if got != 0.5 {
+		t.Fatalf("mean util %v, want 0.5", got)
+	}
+	// Skip beyond length falls back to everything.
+	got = c.MeanUtil(10, func(s netsim.Sample) float64 { return s.TorToTorUtil })
+	if got < 0.6 || got > 0.7 {
+		t.Fatalf("fallback mean %v", got)
+	}
+	empty := &Collector{}
+	if empty.MeanUtil(0, func(netsim.Sample) float64 { return 1 }) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestCompletionRate(t *testing.T) {
+	c := &Collector{}
+	if c.CompletionRate() != 1 {
+		t.Fatal("untracked rate should be 1")
+	}
+	c.CountLaunched(4)
+	c.Flows = append(c.Flows, rec(1, 1), rec(1, 2))
+	if c.CompletionRate() != 0.5 {
+		t.Fatalf("rate %v", c.CompletionRate())
+	}
+}

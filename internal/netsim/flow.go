@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"ucmp/internal/sim"
+)
+
+// Flow is one transport-level flow: Size bytes from SrcHost to DstHost,
+// arriving (becoming ready to send) at Arrival.
+type Flow struct {
+	ID       int64
+	SrcHost  int
+	DstHost  int
+	Size     int64
+	Arrival  sim.Time
+	Priority bool // testbed foreground traffic marker
+
+	// Hash is the 5-tuple hash used for ECMP-style tie breaking (§5.1).
+	Hash uint64
+
+	// Progress, maintained by the transport:
+	BytesSent      int64 // first transmissions only (drives flow aging)
+	BytesDelivered int64 // distinct payload bytes at the receiver
+	Finished       bool
+	FinishedAt     sim.Time
+
+	// RotorClass marks flows carried by the RotorLB hop-by-hop machinery
+	// (VLB, Opera >15MB, UCMP latency-relaxed long flows).
+	RotorClass bool
+
+	// Child marks MPTCP subflows: they carry a stripe of a parent flow and
+	// are excluded from flow-level metrics.
+	Child bool
+
+	// SenderEP and ReceiverEP are the transport state machines; the host
+	// dispatches arriving packets to one of them by direction.
+	SenderEP   Endpoint
+	ReceiverEP Endpoint
+}
+
+// FCT returns the flow completion time, valid once Finished.
+func (f *Flow) FCT() sim.Time { return f.FinishedAt - f.Arrival }
+
+// hashID derives a deterministic 64-bit hash from a flow identity
+// (splitmix64 over the ID and endpoints), standing in for the 5-tuple hash.
+func hashID(id int64, src, dst int) uint64 {
+	x := uint64(id)*0x9E3779B97F4A7C15 ^ uint64(src)<<32 ^ uint64(dst)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// NewFlow builds a flow with its hash assigned.
+func NewFlow(id int64, src, dst int, size int64, arrival sim.Time) *Flow {
+	return &Flow{
+		ID: id, SrcHost: src, DstHost: dst, Size: size, Arrival: arrival,
+		Hash: hashID(id, src, dst), FinishedAt: -1,
+	}
+}

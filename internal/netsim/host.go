@@ -1,0 +1,71 @@
+package netsim
+
+// Host is an end host: a NIC port toward its ToR and the dispatch point for
+// transport endpoints.
+type Host struct {
+	net  *Network
+	id   int
+	tor  int
+	port *hostPort
+}
+
+func newHost(n *Network, id int) *Host {
+	tor := id / n.F.HostsPerToR
+	return &Host{
+		net:  n,
+		id:   id,
+		tor:  tor,
+		port: &hostPort{net: n, tor: tor},
+	}
+}
+
+// ID returns the global host index.
+func (h *Host) ID() int { return h.id }
+
+// ToR returns the index of the ToR this host attaches to.
+func (h *Host) ToR() int { return h.tor }
+
+// Send injects a packet into the fabric through the host NIC. Addressing
+// fields are filled from the flow.
+func (h *Host) Send(p *Packet) {
+	f := p.Flow
+	if p.SrcHost == 0 && p.DstHost == 0 && f != nil {
+		// Fill addressing by direction: the sender host emits toward the
+		// receiver, anyone else (the receiver) emits control back.
+		if h.id == f.SrcHost {
+			p.SrcHost, p.DstHost = f.SrcHost, f.DstHost
+		} else {
+			p.SrcHost, p.DstHost = f.DstHost, f.SrcHost
+		}
+	}
+	p.SrcToR = h.net.HostToR(p.SrcHost)
+	p.DstToR = h.net.HostToR(p.DstHost)
+	p.SentAt = h.net.Eng.Now()
+	if h.net.Stamper != nil {
+		h.net.Stamper(p)
+	}
+	if p.Type == Data {
+		h.net.Counters.DataBytesSent += int64(p.PayloadLen)
+	}
+	h.port.enqueue(p)
+}
+
+// receive dispatches an arriving packet to the flow's transport endpoint.
+func (h *Host) receive(p *Packet) {
+	f := p.Flow
+	if f == nil {
+		return
+	}
+	if p.DstHost == f.SrcHost {
+		if f.SenderEP != nil {
+			f.SenderEP.Deliver(p)
+		}
+		return
+	}
+	if f.ReceiverEP != nil {
+		f.ReceiverEP.Deliver(p)
+	}
+}
+
+// TorOf exposes the host's ToR switch (for RotorLB credit checks).
+func (h *Host) TorOf() *ToR { return h.net.ToRs[h.tor] }

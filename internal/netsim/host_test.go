@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// Host.Send fills addressing by direction: the flow's source host sends
+// data toward the receiver; the receiver host sends control back.
+func TestHostSendAddressing(t *testing.T) {
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	eng := sim.NewEngine()
+	n := New(eng, f, stubRouter{f}, QueueSpec{}, QueueSpec{}, RotorConfig{})
+	n.Start()
+	fl := NewFlow(1, 3, 20, 1000, 0)
+	n.RegisterFlow(fl)
+
+	data := &Packet{Flow: fl, Type: Data, PayloadLen: 100, WireLen: 164}
+	n.Hosts[3].Send(data)
+	if data.SrcHost != 3 || data.DstHost != 20 {
+		t.Fatalf("data addressing %d->%d", data.SrcHost, data.DstHost)
+	}
+	if data.SrcToR != 1 || data.DstToR != 10 {
+		t.Fatalf("data ToRs %d->%d", data.SrcToR, data.DstToR)
+	}
+
+	ack := &Packet{Flow: fl, Type: Ack, WireLen: HeaderBytes}
+	n.Hosts[20].Send(ack)
+	if ack.SrcHost != 20 || ack.DstHost != 3 {
+		t.Fatalf("ack addressing %d->%d", ack.SrcHost, ack.DstHost)
+	}
+}
+
+// Dispatch: packets addressed to the flow's source go to the SenderEP,
+// others to the ReceiverEP.
+func TestHostReceiveDispatch(t *testing.T) {
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	eng := sim.NewEngine()
+	n := New(eng, f, stubRouter{f}, QueueSpec{}, QueueSpec{}, RotorConfig{})
+	n.Start()
+	fl := NewFlow(1, 0, 17, 5000, 0)
+	n.RegisterFlow(fl)
+	var senderGot, receiverGot int
+	fl.SenderEP = endpointFunc(func(*Packet) { senderGot++ })
+	fl.ReceiverEP = endpointFunc(func(p *Packet) {
+		receiverGot++
+		n.RecordDelivered(fl, int64(p.PayloadLen))
+	})
+	eng.At(0, func() {
+		n.Hosts[0].Send(&Packet{Flow: fl, Type: Data, Seq: 0, PayloadLen: 5000, WireLen: 5064})
+	})
+	// Let the data arrive, then send an ACK back.
+	eng.Run(5 * sim.Millisecond)
+	if receiverGot != 1 {
+		t.Fatalf("receiver got %d", receiverGot)
+	}
+	eng.At(eng.Now(), func() {
+		n.Hosts[17].Send(&Packet{Flow: fl, Type: Ack, Seq: 5000, WireLen: HeaderBytes})
+	})
+	eng.Run(eng.Now() + 5*sim.Millisecond)
+	if senderGot != 1 {
+		t.Fatalf("sender got %d", senderGot)
+	}
+	if !fl.Finished {
+		t.Fatal("flow should be finished")
+	}
+	// Duplicate completion is idempotent.
+	n.FlowFinished(fl)
+	if fl.FCT() <= 0 {
+		t.Fatal("FCT not positive")
+	}
+}
+
+// Duplicate flow registration panics: silent duplicates would corrupt
+// dispatch.
+func TestRegisterFlowDuplicatePanics(t *testing.T) {
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	n := New(sim.NewEngine(), f, stubRouter{f}, QueueSpec{}, QueueSpec{}, RotorConfig{})
+	fl := NewFlow(7, 0, 17, 1000, 0)
+	n.RegisterFlow(fl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	n.RegisterFlow(NewFlow(7, 1, 18, 1000, 0))
+}

@@ -1,0 +1,219 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/routing"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+// buildNet wires a scaled fabric with the given router factory and
+// transport kind.
+func buildNet(t testing.TB, schedKind string, mkRouter func(f *topo.Fabric) netsim.Router, tk transport.Kind) (*sim.Engine, *netsim.Network, *transport.Stack) {
+	t.Helper()
+	f := topo.MustFabric(topo.Scaled(), schedKind, 1)
+	eng := sim.NewEngine()
+	router := mkRouter(f)
+	net := netsim.New(eng, f, router, transport.QueueSpec(tk), transport.QueueSpec(tk), netsim.DefaultRotor())
+	if u, ok := router.(*routing.UCMP); ok {
+		net.Stamper = u.StampBucket
+	}
+	net.Start()
+	return eng, net, transport.NewStack(net, tk)
+}
+
+func runFlows(t *testing.T, eng *sim.Engine, net *netsim.Network, stack *transport.Stack, flows []*netsim.Flow, horizon sim.Time) {
+	t.Helper()
+	for _, f := range flows {
+		stack.Launch(f)
+	}
+	eng.Run(horizon)
+	for _, f := range flows {
+		if !f.Finished {
+			t.Errorf("flow %d (%d bytes %d->%d) unfinished: delivered %d, drops=%d rerouted=%d",
+				f.ID, f.Size, f.SrcHost, f.DstHost, f.BytesDelivered,
+				net.Counters.DroppedPackets, net.Counters.ReroutedPackets)
+		}
+		if f.Finished && f.FCT() <= 0 {
+			t.Errorf("flow %d nonpositive FCT %v", f.ID, f.FCT())
+		}
+	}
+}
+
+func ucmpRouter(f *topo.Fabric) netsim.Router {
+	return routing.NewUCMP(core.BuildPathSet(f, 0.5))
+}
+
+func TestUCMPWithDCTCPDelivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.DCTCP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 100_000, 0),
+		netsim.NewFlow(2, 3, 30, 10_000, 10*sim.Microsecond),
+		netsim.NewFlow(3, 8, 25, 2_000_000, 0),
+	}
+	runFlows(t, eng, net, stack, flows, 100*sim.Millisecond)
+	if net.Counters.DataBytesDelivered < 2_110_000 {
+		t.Fatalf("delivered %d bytes, want >= 2110000", net.Counters.DataBytesDelivered)
+	}
+	if eff := net.BandwidthEfficiency(); eff <= 0 || eff > 1 {
+		t.Fatalf("bandwidth efficiency %v out of (0,1]", eff)
+	}
+}
+
+func TestUCMPWithNDPDelivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.NDP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 500_000, 0),
+		netsim.NewFlow(2, 1, 17, 50_000, 0), // incast pair on one receiver
+		netsim.NewFlow(3, 2, 17, 50_000, 0),
+	}
+	runFlows(t, eng, net, stack, flows, 100*sim.Millisecond)
+}
+
+func TestVLBWithRotorDelivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin",
+		func(f *topo.Fabric) netsim.Router { return routing.NewVLB(f) }, transport.DCTCP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 3_000_000, 0),
+		netsim.NewFlow(2, 5, 20, 1_000_000, 0),
+	}
+	runFlows(t, eng, net, stack, flows, 200*sim.Millisecond)
+	// VLB routes ~2 hops: efficiency should sit near 0.5, never near 1.
+	if eff := net.BandwidthEfficiency(); eff < 0.35 || eff > 0.75 {
+		t.Fatalf("VLB bandwidth efficiency %v, want around 0.5", eff)
+	}
+}
+
+func TestKSPDelivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin",
+		func(f *topo.Fabric) netsim.Router { return routing.NewKSP(f, 1) }, transport.DCTCP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 200_000, 0),
+		netsim.NewFlow(2, 9, 28, 80_000, 5*sim.Microsecond),
+	}
+	runFlows(t, eng, net, stack, flows, 200*sim.Millisecond)
+}
+
+func TestKSP5Delivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin",
+		func(f *topo.Fabric) netsim.Router { return routing.NewKSP(f, 5) }, transport.DCTCP)
+	flows := []*netsim.Flow{netsim.NewFlow(1, 0, 17, 300_000, 0)}
+	runFlows(t, eng, net, stack, flows, 200*sim.Millisecond)
+}
+
+func TestOperaDelivers(t *testing.T) {
+	eng, net, stack := buildNet(t, "opera",
+		func(f *topo.Fabric) netsim.Router { return routing.NewOpera(f, 1) }, transport.NDP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 100_000, 0),                // short: stable-graph KSP
+		netsim.NewFlow(2, 5, 20, routing.FlowCutoff15MB, 0), // long: VLB/rotor
+	}
+	runFlows(t, eng, net, stack, flows, time500ms())
+	if !flows[1].RotorClass {
+		t.Fatal("15MB flow should be rotor-class under Opera")
+	}
+	if flows[0].RotorClass {
+		t.Fatal("100KB flow should not be rotor-class under Opera")
+	}
+}
+
+func time500ms() sim.Time { return 500 * sim.Millisecond }
+
+func TestUCMPRelaxationClasses(t *testing.T) {
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	u := routing.NewUCMP(core.BuildPathSet(f, 0.5))
+	u.Relax = true
+	long := netsim.NewFlow(1, 0, 17, 20<<20, 0)
+	short := netsim.NewFlow(2, 0, 17, 1<<20, 0)
+	if !u.RotorFlow(long) || u.RotorFlow(short) {
+		t.Fatal("relaxation classing wrong")
+	}
+	u.Relax = false
+	if u.RotorFlow(long) {
+		t.Fatal("relaxation disabled but long flow classed rotor")
+	}
+}
+
+// Bytes conservation: data delivered never exceeds data sent; ToR-to-ToR
+// bytes are at least the delivered inter-rack bytes.
+func TestConservation(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.DCTCP)
+	flows := []*netsim.Flow{
+		netsim.NewFlow(1, 0, 17, 400_000, 0),
+		netsim.NewFlow(2, 4, 21, 250_000, 0),
+		netsim.NewFlow(3, 6, 1, 50_000, 0), // intra-rack? hosts 6,1 -> ToRs 3,0
+	}
+	runFlows(t, eng, net, stack, flows, 100*sim.Millisecond)
+	c := net.Counters
+	if c.DataBytesDelivered > c.DataBytesSent {
+		t.Fatalf("delivered %d > sent %d", c.DataBytesDelivered, c.DataBytesSent)
+	}
+	if c.TorToTorBytes < c.DataBytesDelivered/2 {
+		t.Fatalf("implausibly low ToR-ToR bytes: %d", c.TorToTorBytes)
+	}
+}
+
+// Intra-rack flows never touch circuit uplinks.
+func TestIntraRackStaysLocal(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.DCTCP)
+	f := netsim.NewFlow(1, 0, 1, 100_000, 0) // both hosts on ToR 0
+	runFlows(t, eng, net, stack, []*netsim.Flow{f}, 50*sim.Millisecond)
+	if net.Counters.TorToTorBytes != 0 {
+		t.Fatalf("intra-rack flow crossed circuits: %d bytes", net.Counters.TorToTorBytes)
+	}
+}
+
+func TestReroutedFractionSmall(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.DCTCP)
+	var flows []*netsim.Flow
+	for i := 0; i < 20; i++ {
+		flows = append(flows, netsim.NewFlow(int64(i+1), i%32, (i*7+17)%32, 50_000, sim.Time(i)*sim.Microsecond))
+	}
+	runFlows(t, eng, net, stack, flows, 200*sim.Millisecond)
+	if frac := net.ReroutedFraction(); frac > 0.2 {
+		t.Fatalf("rerouted fraction %v too high for light load (paper: <=3%%)", frac)
+	}
+}
+
+func TestSampleUtilization(t *testing.T) {
+	eng, net, stack := buildNet(t, "round-robin", ucmpRouter, transport.DCTCP)
+	flows := []*netsim.Flow{netsim.NewFlow(1, 0, 17, 1_000_000, 0)}
+	for _, f := range flows {
+		stack.Launch(f)
+	}
+	var samples []netsim.Sample
+	var prev *netsim.Sample
+	var tick func()
+	tick = func() {
+		s := net.TakeSample(prev)
+		samples = append(samples, s)
+		prev = &samples[len(samples)-1]
+		if eng.Now() < 20*sim.Millisecond {
+			eng.After(sim.Millisecond, tick)
+		}
+	}
+	eng.After(sim.Millisecond, tick)
+	eng.Run(100 * sim.Millisecond)
+	if !flows[0].Finished {
+		t.Fatal("flow unfinished")
+	}
+	sawTraffic := false
+	for _, s := range samples {
+		if s.TorToTorUtil < 0 || s.TorToTorUtil > 1.01 {
+			t.Fatalf("ToR-ToR util %v out of range", s.TorToTorUtil)
+		}
+		if s.JainLoadIndex < 0 || s.JainLoadIndex > 1.0001 {
+			t.Fatalf("Jain %v out of range", s.JainLoadIndex)
+		}
+		if s.TorToHostUtil > 0 {
+			sawTraffic = true
+		}
+	}
+	if !sawTraffic {
+		t.Fatal("no utilization observed in any sample")
+	}
+}

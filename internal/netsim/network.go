@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// QueueSpec configures the queues instantiated at ToR ports.
+type QueueSpec struct {
+	MaxDataPackets int
+	ECNThreshold   int
+	Trim           bool
+}
+
+// DCTCPQueues is the paper's DCTCP switch configuration (§7.1): 300
+// MTU-sized packets, ECN threshold 65.
+func DCTCPQueues() QueueSpec { return QueueSpec{MaxDataPackets: 300, ECNThreshold: 65} }
+
+// NDPQueues is the paper's NDP switch configuration (§7.1): 80 MTU-sized
+// packets with trimming.
+func NDPQueues() QueueSpec { return QueueSpec{MaxDataPackets: 80, Trim: true} }
+
+// RotorConfig tunes the RotorLB hop-by-hop machinery.
+type RotorConfig struct {
+	Enabled bool
+	// LocalCapBytes backpressures hosts: a host may push into its ToR's
+	// local VOQ for a destination only below this bound.
+	LocalCapBytes int64
+	// NonlocalCapBytes bounds indirect traffic parked at an intermediate
+	// ToR; senders stop indirecting toward a ToR above it (standing in for
+	// RotorLB's offer/accept exchange).
+	NonlocalCapBytes int64
+}
+
+// DefaultRotor returns a workable RotorLB configuration.
+func DefaultRotor() RotorConfig {
+	return RotorConfig{Enabled: true, LocalCapBytes: 256 * 1500, NonlocalCapBytes: 1024 * 1500}
+}
+
+// Counters aggregates fabric-wide statistics.
+type Counters struct {
+	DataBytesSent      int64 // payload bytes leaving hosts (incl. rtx)
+	DataBytesDelivered int64 // distinct payload bytes reaching receivers
+	TorToTorBytes      int64 // wire bytes summed over every ToR-ToR hop
+	HostToTorBytes     int64
+	TorToHostBytes     int64
+	DataPackets        int64
+	ReroutedPackets    int64 // packets recirculated at least once (§6.3)
+	DroppedPackets     int64
+	RotorDrops         int64
+
+	// Recirculation cause breakdown (§6.3 diagnostics).
+	ExpiredInCalendar int64 // parked past the slice boundary
+	LateArrivals      int64 // reached a ToR after the planned slice
+	CalendarFull      int64 // target priority queue rejected the packet
+}
+
+// Network is a simulated RDCN instance: hosts, ToRs, the circuit schedule
+// gating the uplinks, a Router, and transport endpoints hanging off flows.
+type Network struct {
+	Eng    *sim.Engine
+	F      *topo.Fabric
+	Router Router
+
+	UpQueue   QueueSpec
+	DownQueue QueueSpec
+	Rotor     RotorConfig
+
+	Hosts []*Host
+	ToRs  []*ToR
+
+	Counters Counters
+
+	// OnFlowDone, if set, fires when a flow completes.
+	OnFlowDone func(f *Flow)
+
+	// Stamper, if set, tags packets as they leave a host (UCMP's host-side
+	// DSCP bucket stamping, §6.1).
+	Stamper func(p *Packet)
+
+	// LinkDown, if set, physically disables a ToR-to-circuit-switch link:
+	// its port never transmits, and packets planned over it expire at the
+	// slice boundary and recirculate (failure injection, Fig 12).
+	LinkDown func(tor, sw int) bool
+
+	flows map[int64]*Flow
+}
+
+// New wires up a network. Call Start before Run to arm the slice clock.
+func New(eng *sim.Engine, f *topo.Fabric, router Router, up, down QueueSpec, rotor RotorConfig) *Network {
+	n := &Network{
+		Eng: eng, F: f, Router: router,
+		UpQueue: up, DownQueue: down, Rotor: rotor,
+		flows: make(map[int64]*Flow),
+	}
+	n.ToRs = make([]*ToR, f.NumToRs)
+	for i := range n.ToRs {
+		n.ToRs[i] = newToR(n, i)
+	}
+	n.Hosts = make([]*Host, f.NumHosts())
+	for i := range n.Hosts {
+		n.Hosts[i] = newHost(n, i)
+	}
+	return n
+}
+
+// HostToR returns the ToR a host attaches to.
+func (n *Network) HostToR(host int) int { return host / n.F.HostsPerToR }
+
+// Start arms the slice-boundary clock. Must be called once before running.
+func (n *Network) Start() {
+	n.Eng.At(0, n.sliceBoundary)
+}
+
+// sliceBoundary fires at the start of every slice: it expires the calendar
+// queues of the slice that just ended (rerouting the packets that missed
+// their circuits, §6.3) and kicks every uplink pump for the new slice.
+func (n *Network) sliceBoundary() {
+	now := n.Eng.Now()
+	abs := n.F.AbsSlice(now)
+	for _, tor := range n.ToRs {
+		tor.onSliceStart(abs)
+	}
+	n.Eng.At(n.F.SliceStart(abs+1), n.sliceBoundary)
+}
+
+// RegisterFlow makes the network aware of a flow (needed before any packet
+// of it is sent).
+func (n *Network) RegisterFlow(f *Flow) {
+	if _, dup := n.flows[f.ID]; dup {
+		panic(fmt.Sprintf("netsim: duplicate flow %d", f.ID))
+	}
+	f.RotorClass = n.Router.RotorFlow(f)
+	n.flows[f.ID] = f
+}
+
+// RecordDelivered credits newly received distinct payload bytes to a flow
+// (called by transport receivers) and completes the flow when all bytes
+// have arrived.
+func (n *Network) RecordDelivered(f *Flow, newBytes int64) {
+	if newBytes <= 0 {
+		return
+	}
+	f.BytesDelivered += newBytes
+	n.Counters.DataBytesDelivered += newBytes
+	if f.BytesDelivered >= f.Size {
+		n.FlowFinished(f)
+	}
+}
+
+// FlowFinished records completion exactly once.
+func (n *Network) FlowFinished(f *Flow) {
+	if f.Finished {
+		return
+	}
+	f.Finished = true
+	f.FinishedAt = n.Eng.Now()
+	if n.OnFlowDone != nil {
+		n.OnFlowDone(f)
+	}
+}
+
+// Flows returns all registered flows.
+func (n *Network) Flows() []*Flow {
+	out := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		out = append(out, f)
+	}
+	return out
+}
+
+// downRoom reports whether the destination host's downlink queue has room
+// for more rotor traffic (the RotorLB final-hop backpressure stand-in).
+// The threshold is deliberately shallow — an eighth of the queue bound —
+// so bulk rotor traffic never builds deep downlink queues that would
+// head-of-line-block latency-sensitive source-routed traffic (the paper's
+// §9 buffering discussion).
+func (n *Network) downRoom(dstHost int) bool {
+	t := n.ToRs[n.HostToR(dstHost)]
+	dp := t.down[dstHost-t.id*n.F.HostsPerToR]
+	limit := dp.queue.MaxDataPackets
+	if limit == 0 {
+		return true
+	}
+	room := limit / 8
+	if room < 8 {
+		room = 8
+	}
+	return dp.queue.DataLen() < room
+}
+
+// serdelay is the serialization delay of a packet on a host-facing link.
+func (n *Network) serdelay(wireLen int) sim.Time {
+	return n.F.SerializationDelay(wireLen)
+}
+
+// serdelayUp is the serialization delay on a circuit uplink (the §8
+// testbed oversubscribes uplinks).
+func (n *Network) serdelayUp(wireLen int) sim.Time {
+	return n.F.UplinkSerialization(wireLen)
+}
+
+// Sample is a point-in-time fabric measurement used for Figs 7, 10a, 15, 17.
+type Sample struct {
+	At sim.Time
+	// Utilizations are averages across links of bytes sent since the
+	// previous sample divided by link capacity over the interval.
+	TorToHostUtil float64
+	HostToTorUtil float64
+	TorToTorUtil  float64
+	// JainQueueIndex is Jain's fairness index over the per-uplink-port
+	// queue occupancies (Appendix C, Eqn. 7).
+	JainQueueIndex float64
+	// JainLoadIndex is the same index over bytes sent per uplink port in
+	// the sampling interval — a queue-free load-balance view that is
+	// meaningful for RotorLB traffic too (Fig 15).
+	JainLoadIndex float64
+}
+
+// TakeSample computes utilizations since the previous TakeSample call.
+func (n *Network) TakeSample(prev *Sample) Sample {
+	now := n.Eng.Now()
+	s := Sample{At: now}
+	var interval sim.Time
+	if prev != nil {
+		interval = now - prev.At
+	} else {
+		interval = now
+	}
+	if interval <= 0 {
+		return s
+	}
+	capBytes := float64(n.F.LinkBps) * interval.Seconds() / 8
+	upCapBytes := float64(n.F.UplinkRate()) * interval.Seconds() / 8
+
+	var down, up, hostUp float64
+	var nDown, nHost int
+	var qsum, qsq, lsum, lsq float64
+	var m int
+	for _, tor := range n.ToRs {
+		for _, dp := range tor.down {
+			down += float64(dp.takeBytes()) / capBytes
+			nDown++
+		}
+		for _, upPort := range tor.up {
+			l := float64(upPort.takeBytes())
+			up += l / upCapBytes
+			lsum += l
+			lsq += l * l
+			q := float64(upPort.queuedBytes())
+			qsum += q
+			qsq += q * q
+			m++
+		}
+	}
+	for _, h := range n.Hosts {
+		hostUp += float64(h.port.takeBytes()) / capBytes
+		nHost++
+	}
+	if nDown > 0 {
+		s.TorToHostUtil = down / float64(nDown)
+	}
+	if m > 0 {
+		s.TorToTorUtil = up / float64(m)
+	}
+	if nHost > 0 {
+		s.HostToTorUtil = hostUp / float64(nHost)
+	}
+	s.JainQueueIndex = jain(qsum, qsq, m)
+	s.JainLoadIndex = jain(lsum, lsq, m)
+	return s
+}
+
+// CalendarBacklog reports the number of data packets already parked at a
+// ToR for the calendar queue a planned hop would use — the congestion
+// signal for the §10 congestion-aware UCMP extension. Unknown circuits
+// report a prohibitive backlog.
+func (n *Network) CalendarBacklog(tor int, hop PlannedHop) int {
+	c := n.F.CyclicSlice(hop.AbsSlice)
+	sw := n.F.Sched.SwitchFor(c, tor, hop.To)
+	if sw < 0 {
+		return 1 << 30
+	}
+	return n.ToRs[tor].up[sw].cal[c].DataLen()
+}
+
+// JainCumulative computes Jain's fairness index over the cumulative bytes
+// each uplink port has sent since the run began — the whole-run
+// load-balance view used for Fig 15. Per-window snapshots (Sample) are
+// noisy on small fabrics where few flows are concurrently active.
+func (n *Network) JainCumulative() float64 {
+	var sum, sq float64
+	m := 0
+	for _, tor := range n.ToRs {
+		for _, u := range tor.up {
+			x := float64(u.meter.total)
+			sum += x
+			sq += x * x
+			m++
+		}
+	}
+	return jain(sum, sq, m)
+}
+
+// jain computes Jain's fairness index (Σx)²/(m·Σx²); all-zero inputs count
+// as perfectly balanced.
+func jain(sum, sq float64, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(m) * sq)
+}
+
+// BandwidthEfficiency returns the paper's §1 metric: the reciprocal of the
+// average per-byte ToR-to-ToR hop count, i.e. delivered payload bytes
+// divided by wire bytes crossing ToR-ToR links. 1.0 means every byte used
+// one hop; 0.5 means two hops on average (VLB).
+func (n *Network) BandwidthEfficiency() float64 {
+	if n.Counters.TorToTorBytes == 0 {
+		return 0
+	}
+	return float64(n.Counters.DataBytesDelivered) / float64(n.Counters.TorToTorBytes)
+}
+
+// ReroutedFraction returns the fraction of data packets that were
+// recirculated at least once (§6.3 reports at most 3.03%).
+func (n *Network) ReroutedFraction() float64 {
+	if n.Counters.DataPackets == 0 {
+		return 0
+	}
+	return float64(n.Counters.ReroutedPackets) / float64(n.Counters.DataPackets)
+}

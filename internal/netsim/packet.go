@@ -1,0 +1,110 @@
+// Package netsim is a from-scratch packet-level RDCN simulator: the
+// substitute for the htsim simulator used by the paper (§7.1). It models
+// hosts, ToR switches with per-time-slice calendar queues on circuit-facing
+// uplinks (§6.2), drop-tail/ECN and NDP trimming queues, per-packet
+// serialization and propagation, circuit gating with reconfiguration
+// delays, rerouting of packets that miss their planned slice (§6.3), and a
+// RotorLB-style hop-by-hop mode for VLB-class traffic.
+package netsim
+
+import (
+	"ucmp/internal/sim"
+)
+
+// PacketType distinguishes data from transport control traffic. Control
+// packets ride the high-priority band of every queue.
+type PacketType uint8
+
+const (
+	Data PacketType = iota
+	Ack
+	Nack
+	Pull
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Nack:
+		return "nack"
+	case Pull:
+		return "pull"
+	default:
+		return "?"
+	}
+}
+
+// HeaderBytes is the on-wire overhead per packet (Ethernet+IP+TCP-ish plus
+// the SSRR source-route option of §6.2).
+const HeaderBytes = 64
+
+// PlannedHop is one entry of a packet's source route: the next ToR and the
+// absolute time slice in which the circuit to it is up (§6.2's
+// <ToR, egress port, departure slice> tuple; the egress port is derived
+// from the schedule at enqueue time).
+type PlannedHop struct {
+	To       int
+	AbsSlice int64
+}
+
+// Packet is a simulated packet. Packets are passed by pointer and never
+// shared between two queues at once.
+type Packet struct {
+	Flow *Flow
+	Type PacketType
+
+	// Seq is the byte offset of the payload (data) or the cumulative ack /
+	// nacked offset (control). PayloadLen is the payload size represented;
+	// WireLen is what occupies the wire (headers included, possibly
+	// trimmed).
+	Seq        int64
+	PayloadLen int
+	WireLen    int
+
+	ECNCapable bool
+	ECNMarked  bool
+	// EchoECN is set on ACKs to echo the data packet's mark (DCTCP).
+	EchoECN bool
+	Trimmed bool
+
+	// Bucket is the flow-aging bucket stamped by the host (DSCP, §6.1).
+	Bucket int
+
+	SrcHost, DstHost int
+	SrcToR, DstToR   int
+
+	// Route is the source route; RouteIdx points at the next hop to take.
+	Route    []PlannedHop
+	RouteIdx int
+	// Rerouted counts recirculations at the CURRENT ToR (§6.3: "packets
+	// that have been recirculated more than 5 times on a ToR are
+	// dropped"); it resets when the packet departs over a circuit.
+	Rerouted int
+	// WasRerouted marks packets recirculated at least once, for the
+	// fraction the paper reports (§7.4).
+	WasRerouted bool
+	// TorHops counts ToR-to-ToR hops actually traversed, for bandwidth
+	// efficiency accounting (§7.3).
+	TorHops int
+
+	// SentAt is when the packet (this transmission) left the host.
+	SentAt sim.Time
+}
+
+// MaxReroutes is the recirculation limit of §6.3.
+const MaxReroutes = 5
+
+// CurrentHop returns the pending hop of the source route, or false when the
+// route is exhausted.
+func (p *Packet) CurrentHop() (PlannedHop, bool) {
+	if p.RouteIdx >= len(p.Route) {
+		return PlannedHop{}, false
+	}
+	return p.Route[p.RouteIdx], true
+}
+
+// IsControl reports whether the packet rides the priority band.
+func (p *Packet) IsControl() bool { return p.Type != Data || p.Trimmed }

@@ -1,0 +1,246 @@
+package netsim
+
+import (
+	"ucmp/internal/sim"
+)
+
+// byteMeter tracks cumulative bytes sent with sampling support.
+type byteMeter struct {
+	total int64
+	last  int64
+}
+
+func (m *byteMeter) add(n int64) { m.total += n }
+func (m *byteMeter) take() int64 {
+	d := m.total - m.last
+	m.last = m.total
+	return d
+}
+
+// downPort is a ToR egress port toward one host: a plain queue and a link.
+type downPort struct {
+	net       *Network
+	host      int // global host id
+	queue     Queue
+	busyUntil sim.Time
+	meter     byteMeter
+}
+
+func (d *downPort) enqueue(p *Packet) {
+	if !d.queue.Enqueue(p) {
+		d.net.Counters.DroppedPackets++
+		return
+	}
+	d.pump()
+}
+
+func (d *downPort) pump() {
+	now := d.net.Eng.Now()
+	if now < d.busyUntil {
+		return
+	}
+	p := d.queue.Dequeue()
+	if p == nil {
+		return
+	}
+	ser := d.net.serdelay(p.WireLen)
+	d.busyUntil = now + ser
+	d.meter.add(int64(p.WireLen))
+	d.net.Counters.TorToHostBytes += int64(p.WireLen)
+	host := d.net.Hosts[d.host]
+	d.net.Eng.At(now+ser+d.net.F.HostPropDelay, func() { host.receive(p) })
+	d.net.Eng.At(d.busyUntil, d.pump)
+}
+
+func (d *downPort) takeBytes() int64 { return d.meter.take() }
+
+// hostPort is the host NIC toward its ToR. Transports self-limit, so the
+// NIC is unbounded, but it fair-queues per flow (round-robin over active
+// flows, control traffic first) so a bulk sender on the host cannot
+// head-of-line-block a latency-sensitive flow sharing the NIC.
+type hostPort struct {
+	net       *Network
+	tor       int
+	busyUntil sim.Time
+	meter     byteMeter
+
+	high    fifo
+	perFlow map[int64]*fifo
+	ring    []int64 // active flow ids, round-robin
+	rr      int
+}
+
+func (h *hostPort) enqueue(p *Packet) {
+	if p.IsControl() {
+		h.high.push(p)
+		h.pump()
+		return
+	}
+	if h.perFlow == nil {
+		h.perFlow = make(map[int64]*fifo)
+	}
+	id := int64(-1)
+	if p.Flow != nil {
+		id = p.Flow.ID
+	}
+	q, ok := h.perFlow[id]
+	if !ok {
+		q = &fifo{}
+		h.perFlow[id] = q
+	}
+	if q.len() == 0 {
+		h.ring = append(h.ring, id)
+	}
+	q.push(p)
+	h.pump()
+}
+
+// next pops the next packet under fair queueing.
+func (h *hostPort) next() *Packet {
+	if p := h.high.pop(); p != nil {
+		return p
+	}
+	for len(h.ring) > 0 {
+		if h.rr >= len(h.ring) {
+			h.rr = 0
+		}
+		id := h.ring[h.rr]
+		q := h.perFlow[id]
+		p := q.pop()
+		if p == nil {
+			// Empty slot: retire from the ring.
+			h.ring = append(h.ring[:h.rr], h.ring[h.rr+1:]...)
+			continue
+		}
+		if q.len() == 0 {
+			h.ring = append(h.ring[:h.rr], h.ring[h.rr+1:]...)
+		} else {
+			h.rr++
+		}
+		return p
+	}
+	return nil
+}
+
+func (h *hostPort) pump() {
+	now := h.net.Eng.Now()
+	if now < h.busyUntil {
+		return
+	}
+	p := h.next()
+	if p == nil {
+		return
+	}
+	ser := h.net.serdelay(p.WireLen)
+	h.busyUntil = now + ser
+	h.meter.add(int64(p.WireLen))
+	h.net.Counters.HostToTorBytes += int64(p.WireLen)
+	tor := h.net.ToRs[h.tor]
+	h.net.Eng.At(now+ser+h.net.F.HostPropDelay, func() { tor.receiveFromHost(p) })
+	h.net.Eng.At(h.busyUntil, h.pump)
+}
+
+func (h *hostPort) takeBytes() int64 { return h.meter.take() }
+
+// uplinkPort is a circuit-facing ToR egress port (§6.2): one calendar queue
+// per cyclic time slice, unpaused only while its slice's circuit is up. The
+// port also drains the ToR's RotorLB VOQs opportunistically when the
+// calendar queue for the active slice is empty.
+type uplinkPort struct {
+	net *Network
+	tor *ToR
+	sw  int // circuit switch index == uplink index
+
+	cal       []*Queue // one per cyclic slice
+	busyUntil sim.Time
+	meter     byteMeter
+}
+
+func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
+	u := &uplinkPort{net: n, tor: tor, sw: sw}
+	u.cal = make([]*Queue, n.F.Sched.S)
+	for i := range u.cal {
+		q := &Queue{
+			MaxDataPackets: n.UpQueue.MaxDataPackets,
+			ECNThreshold:   n.UpQueue.ECNThreshold,
+			Trim:           n.UpQueue.Trim,
+		}
+		u.cal[i] = q
+	}
+	return u
+}
+
+// circuitOpen returns the first instant within the absolute slice at which
+// this port's circuit carries traffic (reconfiguration delay applied).
+func (u *uplinkPort) circuitOpen(abs int64) sim.Time {
+	start := u.net.F.SliceStart(abs)
+	if u.net.F.Sched.ReconfiguresAt(u.net.F.CyclicSlice(abs), u.sw) {
+		start += u.net.F.ReconfDelay
+	}
+	return start
+}
+
+// pump transmits at most one packet and re-arms itself. It is idempotent:
+// extra scheduled pumps are harmless.
+func (u *uplinkPort) pump() {
+	now := u.net.Eng.Now()
+	if now < u.busyUntil {
+		return
+	}
+	if u.net.LinkDown != nil && u.net.LinkDown(u.tor.id, u.sw) {
+		return
+	}
+	abs := u.net.F.AbsSlice(now)
+	c := u.net.F.CyclicSlice(abs)
+	if open := u.circuitOpen(abs); now < open {
+		u.net.Eng.At(open, u.pump)
+		return
+	}
+	peer := u.net.F.Sched.PeerOf(c, u.tor.id, u.sw)
+	end := u.net.F.SliceEnd(abs)
+
+	// Scheduled (calendar) traffic first, then RotorLB traffic.
+	q := u.cal[c]
+	p := q.Peek()
+	if p != nil {
+		if now+u.net.serdelayUp(p.WireLen) > end {
+			return // cannot finish before the slice ends; expires at boundary
+		}
+		q.Dequeue()
+		p.RouteIdx++
+		p.Rerouted = 0 // the per-ToR recirculation budget resets on departure
+	} else if u.tor.rotor != nil {
+		p = u.tor.rotor.selectPacket(peer, func(wireLen int) bool {
+			return now+u.net.serdelayUp(wireLen) <= end
+		})
+		if p == nil && u.tor.rotor.backlogFor(peer) {
+			// Blocked on final-hop backpressure: retry within the slice.
+			retry := now + u.net.serdelayUp(u.net.F.MTU)
+			if retry < end {
+				u.net.Eng.At(retry, u.pump)
+			}
+			return
+		}
+	}
+	if p == nil {
+		return
+	}
+	ser := u.net.serdelayUp(p.WireLen)
+	u.busyUntil = now + ser
+	u.meter.add(int64(p.WireLen))
+	u.net.Counters.TorToTorBytes += int64(p.WireLen)
+	dst := u.net.ToRs[peer]
+	u.net.Eng.At(now+ser+u.net.F.PropDelay, func() { dst.receiveFromPeer(p) })
+	u.net.Eng.At(u.busyUntil, u.pump)
+}
+
+// queuedBytes reports the data bytes parked across all calendar queues.
+func (u *uplinkPort) queuedBytes() int64 {
+	var b int64
+	for _, q := range u.cal {
+		b += q.DataBytes()
+	}
+	return b
+}
+
+func (u *uplinkPort) takeBytes() int64 { return u.meter.take() }

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"testing"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// stubRouter plans a fixed one-hop route toward the packet's DstToR at the
+// earliest direct slice.
+type stubRouter struct{ f *topo.Fabric }
+
+func (s stubRouter) Name() string           { return "stub" }
+func (s stubRouter) RotorFlow(f *Flow) bool { return false }
+func (s stubRouter) PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64) ([]PlannedHop, bool) {
+	e := s.f.Sched.NextDirect(tor, p.DstToR, fromAbs)
+	return []PlannedHop{{To: p.DstToR, AbsSlice: e}}, true
+}
+
+func stubNet(t testing.TB) (*sim.Engine, *Network) {
+	t.Helper()
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	eng := sim.NewEngine()
+	n := New(eng, f, stubRouter{f}, QueueSpec{MaxDataPackets: 300, ECNThreshold: 65}, QueueSpec{MaxDataPackets: 300}, RotorConfig{})
+	n.Start()
+	return eng, n
+}
+
+// The host NIC must round-robin flows: with a bulk flow and a short flow
+// enqueued together, short-flow packets interleave instead of waiting for
+// the full bulk backlog.
+func TestHostPortFairQueueing(t *testing.T) {
+	eng, n := stubNet(t)
+	// Both flows share the destination ToR so circuit timing is identical
+	// and delivery order reflects NIC departure order.
+	bulk := NewFlow(1, 0, 17, 1<<20, 0)
+	short := NewFlow(2, 0, 16, 3000, 0)
+	n.RegisterFlow(bulk)
+	n.RegisterFlow(short)
+	var order []int64
+	sink := func(fl *Flow) Endpoint {
+		return endpointFunc(func(p *Packet) {
+			order = append(order, fl.ID)
+			n.RecordDelivered(fl, int64(p.PayloadLen))
+		})
+	}
+	bulk.ReceiverEP = sink(bulk)
+	short.ReceiverEP = sink(short)
+
+	host := n.Hosts[0]
+	eng.At(0, func() {
+		// 50 bulk packets, then 2 short packets: FIFO would deliver the
+		// shorts last; fair queueing interleaves them near the front.
+		for i := 0; i < 50; i++ {
+			host.Send(&Packet{Flow: bulk, Type: Data, Seq: int64(i) * 1436, PayloadLen: 1436, WireLen: 1500})
+		}
+		for i := 0; i < 2; i++ {
+			host.Send(&Packet{Flow: short, Type: Data, Seq: int64(i) * 1436, PayloadLen: 1436, WireLen: 1500})
+		}
+	})
+	eng.Run(20 * sim.Millisecond)
+	if len(order) < 52 {
+		t.Fatalf("only %d packets delivered", len(order))
+	}
+	// Both short packets must appear within the first dozen NIC departures'
+	// worth of arrivals (they may reorder in the fabric, so check they are
+	// not at the very tail).
+	lastShort := -1
+	for i, id := range order {
+		if id == short.ID {
+			lastShort = i
+		}
+	}
+	if lastShort < 0 {
+		t.Fatal("short flow never delivered")
+	}
+	if lastShort > 20 {
+		t.Fatalf("short flow packet delivered at position %d; NIC fair queueing not working", lastShort)
+	}
+}
+
+type endpointFunc func(*Packet)
+
+func (f endpointFunc) Deliver(p *Packet) { f(p) }
+
+// A packet waiting several cycles for its circuit must not be dropped: the
+// recirculation budget is per ToR and resets on departure (§6.3).
+func TestPerToRRerouteBudget(t *testing.T) {
+	eng, n := stubNet(t)
+	fl := NewFlow(1, 0, 17, 1436, 0)
+	n.RegisterFlow(fl)
+	delivered := false
+	fl.ReceiverEP = endpointFunc(func(p *Packet) { delivered = true })
+
+	// Force many recirculations at the source ToR by pre-aging the packet,
+	// then confirm a fresh strike budget after it departs: the packet with
+	// Rerouted=MaxReroutes-1 must still cross two ToRs if rerouted once
+	// more at each.
+	p := &Packet{Flow: fl, Type: Data, PayloadLen: 1436, WireLen: 1500, Rerouted: MaxReroutes - 1}
+	eng.At(0, func() { n.Hosts[0].Send(p) })
+	eng.Run(10 * sim.Millisecond)
+	if !delivered {
+		t.Fatalf("packet dropped despite per-ToR budget (rerouted=%d)", p.Rerouted)
+	}
+	if p.Rerouted != 0 {
+		t.Fatalf("budget not reset on departure: %d", p.Rerouted)
+	}
+}
+
+// ECN marking must occur in calendar queues when a slice's backlog exceeds
+// the threshold.
+func TestCalendarQueueECN(t *testing.T) {
+	eng, n := stubNet(t)
+	// Pick a destination whose direct circuit is a few slices away, so the
+	// calendar queue accumulates instead of draining live.
+	dstToR := -1
+	for d := 1; d < n.F.NumToRs; d++ {
+		if n.F.Sched.WaitSlices(0, d, 0) >= 2 {
+			dstToR = d
+			break
+		}
+	}
+	if dstToR < 0 {
+		t.Fatal("no delayed pair found")
+	}
+	fl := NewFlow(1, 0, dstToR*n.F.HostsPerToR, 1<<20, 0)
+	n.RegisterFlow(fl)
+	marked := 0
+	fl.ReceiverEP = endpointFunc(func(p *Packet) {
+		if p.ECNMarked {
+			marked++
+		}
+	})
+	eng.At(0, func() {
+		for i := 0; i < 120; i++ { // above the 65-packet threshold
+			n.Hosts[0].Send(&Packet{Flow: fl, Type: Data, Seq: int64(i) * 1436, PayloadLen: 1436, WireLen: 1500, ECNCapable: true})
+		}
+	})
+	eng.Run(20 * sim.Millisecond)
+	if marked == 0 {
+		t.Fatal("no ECN marks despite deep calendar backlog")
+	}
+}

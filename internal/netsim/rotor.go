@@ -1,0 +1,142 @@
+package netsim
+
+// rotorState implements the RotorLB-style hop-by-hop machinery used for
+// VLB-class traffic: per-destination local VOQs (traffic originating at
+// this ToR) and nonlocal VOQs (indirect traffic parked here for its final
+// hop). Per slice and uplink, the draining priority is
+//
+//  1. nonlocal traffic whose destination is the current peer,
+//  2. local traffic destined to the peer (direct, 1-hop),
+//  3. local traffic for other destinations, indirected via the peer with
+//     the slice's spare capacity (2-hop, VLB phase 1),
+//
+// which is the RotorLB ordering from the Opera/RotorNet line of work. The
+// offer/accept exchange is replaced by a cap on the receiver's nonlocal
+// backlog, checked at the sender (documented substitution, DESIGN.md §1).
+type rotorState struct {
+	tor *ToR
+
+	local    []fifo
+	nonlocal []fifo
+
+	localBytes    []int64
+	nonlocalBytes []int64
+	totalNonlocal int64
+
+	// waiters are one-shot host callbacks awaiting local-VOQ credit.
+	waiters [][]func()
+
+	// rr rotates the indirect destination scan for fairness.
+	rr int
+}
+
+func newRotorState(t *ToR) *rotorState {
+	n := t.net.F.Sched.N
+	return &rotorState{
+		tor:           t,
+		local:         make([]fifo, n),
+		nonlocal:      make([]fifo, n),
+		localBytes:    make([]int64, n),
+		nonlocalBytes: make([]int64, n),
+		waiters:       make([][]func(), n),
+	}
+}
+
+// pushLocal admits a packet from a local host. Hosts are expected to
+// respect RotorHasCredit, but overflow is tolerated (the VOQ is unbounded;
+// the credit check is what provides backpressure).
+func (r *rotorState) pushLocal(p *Packet) {
+	dst := p.DstToR
+	r.local[dst].push(p)
+	r.localBytes[dst] += int64(p.WireLen)
+	r.tor.pumpFor(dst) // direct circuit may be up right now
+	// Any circuit can carry it indirectly; kick all ports so spare slice
+	// capacity is used promptly.
+	for _, u := range r.tor.up {
+		u.pump()
+	}
+}
+
+// pushNonlocal parks an indirect packet for its final hop.
+func (r *rotorState) pushNonlocal(p *Packet) {
+	dst := p.DstToR
+	r.nonlocal[dst].push(p)
+	r.nonlocalBytes[dst] += int64(p.WireLen)
+	r.totalNonlocal += int64(p.WireLen)
+	r.tor.pumpFor(dst)
+}
+
+// selectPacket picks the next rotor packet to send toward peer, honoring
+// the fits predicate (remaining slice time). Returns nil when nothing
+// eligible. Final-hop sends additionally require room in the destination
+// host's downlink queue: RotorLB is lossless via backpressure, which this
+// occupancy check stands in for (rotor traffic has no retransmission).
+func (r *rotorState) selectPacket(peer int, fits func(wireLen int) bool) *Packet {
+	// 1. Nonlocal traffic completing its second hop.
+	if r.nonlocal[peer].len() > 0 {
+		p := r.nonlocal[peer].items[r.nonlocal[peer].head]
+		if !fits(p.WireLen) {
+			return nil
+		}
+		if r.tor.net.downRoom(p.DstHost) {
+			r.nonlocal[peer].pop()
+			r.nonlocalBytes[peer] -= int64(p.WireLen)
+			r.totalNonlocal -= int64(p.WireLen)
+			return p
+		}
+	}
+	// 2. Local traffic with a direct circuit.
+	if r.local[peer].len() > 0 {
+		p := r.local[peer].items[r.local[peer].head]
+		if !fits(p.WireLen) {
+			return nil
+		}
+		if r.tor.net.downRoom(p.DstHost) {
+			r.local[peer].pop()
+			r.creditLocal(peer, p)
+			return p
+		}
+	}
+	// 3. Indirect: spare capacity carries other destinations via peer,
+	// bounded by the peer's nonlocal backlog (lossless stand-in for
+	// RotorLB's offer/accept).
+	peerRotor := r.tor.net.ToRs[peer].rotor
+	if peerRotor == nil || peerRotor.totalNonlocal >= r.tor.net.Rotor.NonlocalCapBytes {
+		return nil
+	}
+	n := len(r.local)
+	for i := 0; i < n; i++ {
+		dst := (r.rr + i) % n
+		if dst == peer || dst == r.tor.id || r.local[dst].len() == 0 {
+			continue
+		}
+		p := r.local[dst].items[r.local[dst].head]
+		if !fits(p.WireLen) {
+			return nil
+		}
+		r.local[dst].pop()
+		r.creditLocal(dst, p)
+		r.rr = (dst + 1) % n
+		return p
+	}
+	return nil
+}
+
+// backlogFor reports whether traffic for a final hop toward peer is parked
+// here (used to retry after final-hop backpressure).
+func (r *rotorState) backlogFor(peer int) bool {
+	return r.nonlocal[peer].len() > 0 || r.local[peer].len() > 0
+}
+
+// creditLocal updates accounting after a local packet left and wakes hosts
+// blocked on credit.
+func (r *rotorState) creditLocal(dst int, p *Packet) {
+	r.localBytes[dst] -= int64(p.WireLen)
+	if r.localBytes[dst] < r.tor.net.Rotor.LocalCapBytes && len(r.waiters[dst]) > 0 {
+		ws := r.waiters[dst]
+		r.waiters[dst] = nil
+		for _, fn := range ws {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"testing"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+func rotorNet(t testing.TB) *Network {
+	t.Helper()
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	eng := sim.NewEngine()
+	n := New(eng, f, stubRouter{f}, QueueSpec{MaxDataPackets: 300}, QueueSpec{MaxDataPackets: 300}, DefaultRotor())
+	n.Start()
+	return n
+}
+
+func rotorPkt(n *Network, id int64, dstToR int) *Packet {
+	fl := NewFlow(id, 0, dstToR*n.F.HostsPerToR, 1436, 0)
+	fl.RotorClass = true
+	return &Packet{Flow: fl, Type: Data, PayloadLen: 1436, WireLen: 1500,
+		SrcHost: fl.SrcHost, DstHost: fl.DstHost, SrcToR: 0, DstToR: dstToR}
+}
+
+func alwaysFits(int) bool { return true }
+
+// RotorLB drain priority: nonlocal (second hop) > local direct > indirect.
+func TestRotorSelectPriority(t *testing.T) {
+	n := rotorNet(t)
+	tor := n.ToRs[0]
+	r := tor.rotor
+	peer := 5
+
+	// Stage one packet of each class.
+	indirect := rotorPkt(n, 1, 9) // local traffic for another dst -> indirect via peer
+	local := rotorPkt(n, 2, peer)
+	second := rotorPkt(n, 3, peer) // nonlocal: parked here, final hop to peer
+	r.pushLocal(indirect)
+	r.pushLocal(local)
+	r.pushNonlocal(second)
+
+	if got := r.selectPacket(peer, alwaysFits); got != second {
+		t.Fatalf("first pick %v, want the nonlocal packet", got.Flow.ID)
+	}
+	if got := r.selectPacket(peer, alwaysFits); got != local {
+		t.Fatalf("second pick flow %d, want the local direct packet", got.Flow.ID)
+	}
+	got := r.selectPacket(peer, alwaysFits)
+	if got != indirect {
+		t.Fatalf("third pick %v, want the indirect packet", got)
+	}
+	if r.selectPacket(peer, alwaysFits) != nil {
+		t.Fatal("queues should be empty")
+	}
+}
+
+// Indirection stops when the peer's nonlocal backlog exceeds the cap.
+func TestRotorIndirectionBackpressure(t *testing.T) {
+	n := rotorNet(t)
+	n.Rotor.NonlocalCapBytes = 1000 // tiny
+	tor := n.ToRs[0]
+	peerToR := n.ToRs[5]
+	// Fill the peer's nonlocal VOQ beyond the cap.
+	peerToR.rotor.pushNonlocal(rotorPkt(n, 10, 9))
+	tor.rotor.pushLocal(rotorPkt(n, 1, 9)) // candidate for indirection via 5
+	if p := tor.rotor.selectPacket(5, alwaysFits); p != nil {
+		t.Fatalf("indirected despite peer backlog: flow %d", p.Flow.ID)
+	}
+	// Direct traffic unaffected by the indirection cap.
+	tor.rotor.pushLocal(rotorPkt(n, 2, 5))
+	if p := tor.rotor.selectPacket(5, alwaysFits); p == nil || p.Flow.ID != 2 {
+		t.Fatal("direct packet blocked by indirection cap")
+	}
+}
+
+// Host credit: below the cap there is credit; filling the VOQ removes it;
+// draining restores it and fires waiters.
+func TestRotorCreditAndWaiters(t *testing.T) {
+	n := rotorNet(t)
+	n.Rotor.LocalCapBytes = 3000 // two packets
+	tor := n.ToRs[0]
+	dst := 7
+	if !tor.RotorHasCredit(dst) {
+		t.Fatal("no credit on empty VOQ")
+	}
+	tor.rotor.pushLocal(rotorPkt(n, 1, dst))
+	tor.rotor.pushLocal(rotorPkt(n, 2, dst))
+	if tor.RotorHasCredit(dst) {
+		t.Fatal("credit despite full VOQ")
+	}
+	fired := false
+	tor.RotorNotify(dst, func() { fired = true })
+	if p := tor.rotor.selectPacket(dst, alwaysFits); p == nil {
+		t.Fatal("drain failed")
+	}
+	if !fired {
+		t.Fatal("waiter not fired on credit")
+	}
+	if !tor.RotorHasCredit(dst) {
+		t.Fatal("credit not restored")
+	}
+}
+
+// The fits predicate (slice time) blocks oversized sends without dropping.
+func TestRotorFitsPredicate(t *testing.T) {
+	n := rotorNet(t)
+	tor := n.ToRs[0]
+	tor.rotor.pushLocal(rotorPkt(n, 1, 5))
+	never := func(int) bool { return false }
+	if tor.rotor.selectPacket(5, never) != nil {
+		t.Fatal("packet sent despite fits=false")
+	}
+	if !tor.rotor.backlogFor(5) {
+		t.Fatal("backlog lost")
+	}
+	if tor.rotor.selectPacket(5, alwaysFits) == nil {
+		t.Fatal("packet gone")
+	}
+}

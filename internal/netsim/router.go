@@ -1,0 +1,30 @@
+package netsim
+
+import (
+	"ucmp/internal/sim"
+)
+
+// Router plans routes for packets entering the fabric. Implementations live
+// in internal/routing (UCMP, VLB, KSP, Opera); netsim only depends on this
+// interface.
+type Router interface {
+	Name() string
+
+	// PlanRoute returns the source route for a packet at ToR `tor`. fromAbs
+	// is the earliest absolute slice the plan may use: the current slice
+	// for fresh packets, later for recirculated ones (§6.3). ok=false means
+	// the router has no path (e.g. under failures), and the packet is
+	// dropped.
+	PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64) (route []PlannedHop, ok bool)
+
+	// RotorFlow reports whether the flow's data packets bypass source
+	// routing and use the RotorLB hop-by-hop machinery (VLB; Opera and
+	// UCMP-with-relaxation for long flows).
+	RotorFlow(f *Flow) bool
+}
+
+// Endpoint receives packets addressed to a host (a transport sender or
+// receiver state machine).
+type Endpoint interface {
+	Deliver(p *Packet)
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import "ucmp/internal/sim"
+
+// ToR is a top-of-rack switch: HostsPerToR downlink ports, Uplinks
+// circuit-facing ports with calendar queues, optional RotorLB VOQs, and the
+// source-routing logic of §6.2 plus the rerouting of §6.3.
+type ToR struct {
+	net   *Network
+	id    int
+	down  []*downPort
+	up    []*uplinkPort
+	rotor *rotorState
+}
+
+func newToR(n *Network, id int) *ToR {
+	t := &ToR{net: n, id: id}
+	t.down = make([]*downPort, n.F.HostsPerToR)
+	for i := range t.down {
+		t.down[i] = &downPort{
+			net:  n,
+			host: id*n.F.HostsPerToR + i,
+			queue: Queue{
+				MaxDataPackets: n.DownQueue.MaxDataPackets,
+				ECNThreshold:   n.DownQueue.ECNThreshold,
+				Trim:           n.DownQueue.Trim,
+			},
+		}
+	}
+	t.up = make([]*uplinkPort, n.F.Uplinks)
+	for sw := range t.up {
+		t.up[sw] = newUplinkPort(n, t, sw)
+	}
+	if n.Rotor.Enabled {
+		t.rotor = newRotorState(t)
+	}
+	return t
+}
+
+// ID returns the ToR index.
+func (t *ToR) ID() int { return t.id }
+
+// onSliceStart expires the calendar queues of the slice that just ended —
+// every packet still parked there missed its circuit and is recirculated
+// with this ToR as its new source (§6.3) — then kicks the pumps for the new
+// slice.
+func (t *ToR) onSliceStart(abs int64) {
+	if abs > 0 {
+		expired := t.net.F.CyclicSlice(abs - 1)
+		for _, u := range t.up {
+			for {
+				p := u.cal[expired].Dequeue()
+				if p == nil {
+					break
+				}
+				t.net.Counters.ExpiredInCalendar++
+				t.recirculate(p, abs)
+			}
+		}
+	}
+	for _, u := range t.up {
+		u.pump()
+	}
+}
+
+// receiveFromHost accepts a packet from a local host NIC.
+func (t *ToR) receiveFromHost(p *Packet) {
+	if p.Type == Data {
+		t.net.Counters.DataPackets++
+	}
+	if p.DstToR == t.id {
+		t.deliverDown(p)
+		return
+	}
+	if p.Flow != nil && p.Flow.RotorClass && p.Type == Data {
+		t.rotorPushLocal(p)
+		return
+	}
+	t.routeAndForward(p, t.net.F.AbsSlice(t.net.Eng.Now()))
+}
+
+// receiveFromPeer accepts a packet arriving over a circuit.
+func (t *ToR) receiveFromPeer(p *Packet) {
+	p.TorHops++
+	if p.DstToR == t.id {
+		t.deliverDown(p)
+		return
+	}
+	if p.Flow != nil && p.Flow.RotorClass && p.Type == Data {
+		// Indirect RotorLB traffic parks in the nonlocal VOQ and leaves on
+		// the next direct circuit to its destination.
+		t.rotor.pushNonlocal(p)
+		return
+	}
+	now := t.net.Eng.Now()
+	abs := t.net.F.AbsSlice(now)
+	hop, ok := p.CurrentHop()
+	if !ok || hop.AbsSlice < abs {
+		// Route exhausted prematurely or the planned slice has passed:
+		// recirculate with this ToR as the new source (§6.3).
+		t.net.Counters.LateArrivals++
+		t.recirculate(p, abs)
+		return
+	}
+	if !t.enqueueUplink(p, hop) {
+		t.net.Counters.CalendarFull++
+		t.recirculate(p, hop.AbsSlice+1)
+	}
+}
+
+// deliverDown hands the packet to the destination host's downlink port.
+func (t *ToR) deliverDown(p *Packet) {
+	local := p.DstHost - t.id*t.net.F.HostsPerToR
+	if local < 0 || local >= len(t.down) {
+		t.net.Counters.DroppedPackets++
+		return
+	}
+	t.down[local].enqueue(p)
+}
+
+// routeAndForward plans a source route starting no earlier than fromAbs and
+// enqueues the packet; on a full calendar queue it retries with later
+// slices (recirculation) until the §6.3 limit.
+func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
+	now := t.net.Eng.Now()
+	bumped := false
+	for {
+		route, ok := t.net.Router.PlanRoute(p, t.id, now, fromAbs)
+		if !ok || len(route) == 0 {
+			t.net.Counters.DroppedPackets++
+			return
+		}
+		// Feasibility of same-slice chains: a plan whose leading hops all
+		// ride the current slice needs enough remaining slice time to
+		// store-and-forward through them. Planning past the boundary once
+		// is free (it is a better plan, not a recirculation); missing the
+		// boundary later costs a §6.3 recirculation and, after five, the
+		// packet.
+		if !bumped && fromAbs == t.net.F.AbsSlice(now) {
+			chain := 0
+			for _, h := range route {
+				if h.AbsSlice != fromAbs {
+					break
+				}
+				chain++
+			}
+			need := 2 * sim.Time(chain) * (t.net.serdelayUp(p.WireLen) + t.net.F.PropDelay)
+			if t.net.F.SliceEnd(fromAbs)-now < need {
+				bumped = true
+				fromAbs++
+				continue
+			}
+		}
+		p.Route, p.RouteIdx = route, 0
+		hop := route[0]
+		if t.enqueueUplink(p, hop) {
+			return
+		}
+		// Target priority queue full: recirculate (§6.3).
+		t.net.Counters.CalendarFull++
+		if !t.bumpReroute(p) {
+			return
+		}
+		fromAbs = hop.AbsSlice + 1
+	}
+}
+
+// recirculate re-sources a packet at this ToR (§6.3).
+func (t *ToR) recirculate(p *Packet, fromAbs int64) {
+	if !t.bumpReroute(p) {
+		return
+	}
+	t.routeAndForward(p, fromAbs)
+}
+
+// bumpReroute applies the recirculation accounting and limit; it reports
+// whether the packet may continue.
+func (t *ToR) bumpReroute(p *Packet) bool {
+	if !p.WasRerouted && p.Type == Data {
+		t.net.Counters.ReroutedPackets++
+	}
+	p.WasRerouted = true
+	p.Rerouted++
+	if p.Rerouted > MaxReroutes {
+		t.net.Counters.DroppedPackets++
+		return false
+	}
+	return true
+}
+
+// enqueueUplink places the packet in the calendar queue of the port/slice
+// matching its next hop. It reports false when the queue rejected it.
+func (t *ToR) enqueueUplink(p *Packet, hop PlannedHop) bool {
+	c := t.net.F.CyclicSlice(hop.AbsSlice)
+	sw := t.net.F.Sched.SwitchFor(c, t.id, hop.To)
+	if sw < 0 {
+		return false // router planned a circuit the schedule doesn't have
+	}
+	u := t.up[sw]
+	if !u.cal[c].Enqueue(p) {
+		return false
+	}
+	now := t.net.Eng.Now()
+	if t.net.F.AbsSlice(now) == hop.AbsSlice {
+		u.pump()
+	}
+	return true
+}
+
+// rotorPushLocal admits a host packet into the RotorLB local VOQ.
+func (t *ToR) rotorPushLocal(p *Packet) {
+	if t.rotor == nil {
+		// RotorLB disabled but a rotor-class flow appeared: fall back to
+		// source routing so traffic still flows.
+		t.routeAndForward(p, t.net.F.AbsSlice(t.net.Eng.Now()))
+		return
+	}
+	t.rotor.pushLocal(p)
+}
+
+// RotorHasCredit reports whether a host may push another packet toward
+// dstToR (host-side backpressure).
+func (t *ToR) RotorHasCredit(dstToR int) bool {
+	if t.rotor == nil {
+		return true
+	}
+	return t.rotor.localBytes[dstToR] < t.net.Rotor.LocalCapBytes
+}
+
+// RotorNotify registers a one-shot callback fired when credit toward
+// dstToR becomes available.
+func (t *ToR) RotorNotify(dstToR int, fn func()) {
+	if t.rotor == nil {
+		fn()
+		return
+	}
+	t.rotor.waiters[dstToR] = append(t.rotor.waiters[dstToR], fn)
+}
+
+// currentAbs is a small helper for rotor code.
+func (t *ToR) currentAbs() int64 { return t.net.F.AbsSlice(t.net.Eng.Now()) }
+
+// pumpFor kicks the port currently connected to peer, if any.
+func (t *ToR) pumpFor(peer int) {
+	c := t.net.F.CyclicSlice(t.currentAbs())
+	if sw := t.net.F.Sched.SwitchFor(c, t.id, peer); sw >= 0 {
+		t.up[sw].pump()
+	}
+}

@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+)
+
+// Congestion-aware path assignment is the §10 "UCMP extension": like
+// CONGA/DRILL/Hula adjust flows across ECMP paths on congestion signals,
+// UCMP can penalize congested paths during online assignment. The
+// extension keeps the offline groups untouched; at plan time it compares
+// the backlog of the calendar queue each candidate's first hop would join
+// and steers the packet to the least-congested candidate whose uniform
+// cost stays within one bucket of the minimum.
+//
+// Enable it by setting UCMP.Backlog (usually Network.CalendarBacklog) and
+// a positive CongestionThreshold.
+
+// congestionCandidates gathers the paths eligible under the one-bucket
+// slack rule: the target entry's parallels plus its hull neighbors.
+func (u *UCMP) congestionCandidates(g *core.Group, bucket int) []*core.Path {
+	want := u.Ager.EntryForBucket(g, bucket)
+	cands := append([]*core.Path(nil), want.Paths...)
+	for _, delta := range []int{-1, 1} {
+		b := bucket + delta
+		if b < 0 {
+			continue
+		}
+		e := u.Ager.EntryForBucket(g, b)
+		if e != want {
+			cands = append(cands, e.Paths...)
+		}
+	}
+	return cands
+}
+
+// pickUncongested returns the candidate with the smallest first-hop
+// backlog, preferring the primary choice on ties. It only engages when the
+// primary's backlog exceeds the threshold; otherwise it returns nil and
+// the caller keeps the normal minimum-uniform-cost assignment.
+func (u *UCMP) pickUncongested(g *core.Group, bucket, tor int, fromAbs int64, hash uint64) *core.Path {
+	if u.Backlog == nil || u.CongestionThreshold <= 0 {
+		return nil
+	}
+	primary := u.Ager.PathForBucket(g, bucket, hash)
+	offset := fromAbs - int64(g.StartSlice)
+	backlogOf := func(p *core.Path) int {
+		h := p.Hops[0]
+		return u.Backlog(tor, netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset})
+	}
+	if backlogOf(primary) < u.CongestionThreshold {
+		return nil
+	}
+	best := primary
+	bestBacklog := backlogOf(primary)
+	for _, p := range u.congestionCandidates(g, bucket) {
+		if u.PathOK != nil && !u.PathOK(p) {
+			continue
+		}
+		if b := backlogOf(p); b < bestBacklog {
+			best, bestBacklog = p, b
+		}
+	}
+	return best
+}

@@ -1,0 +1,70 @@
+package routing
+
+import (
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// Opera implements the Opera baseline's topology-routing co-design (§2.2):
+// it expects the staggered Opera schedule (one circuit switch reconfiguring
+// per slice boundary), routes flows under the 15 MB cutoff with KSP
+// computed on the *stable* subgraph (excluding the circuits about to
+// reconfigure, so no packet is in flight across a reconfiguration), and
+// sends flows over the cutoff through VLB / RotorLB.
+type Opera struct {
+	F      *topo.Fabric
+	K      int
+	Cutoff int64
+
+	stable [][][][]int
+}
+
+// NewOpera precomputes the stable-subgraph KSP tables.
+func NewOpera(f *topo.Fabric, k int) *Opera {
+	o := &Opera{F: f, K: k, Cutoff: FlowCutoff15MB}
+	o.stable = buildKSPTables(f.Sched, k, func(sl int) *topo.Graph { return f.Sched.StableSliceGraph(sl) })
+	return o
+}
+
+// Name implements netsim.Router.
+func (o *Opera) Name() string {
+	if o.K == 1 {
+		return "opera-1"
+	}
+	return "opera-k"
+}
+
+// RotorFlow implements netsim.Router: flows >= 15 MB ride VLB (§2.2).
+func (o *Opera) RotorFlow(f *netsim.Flow) bool { return f.Size >= o.Cutoff }
+
+// PlanRoute implements netsim.Router for the short-flow (KSP) side.
+func (o *Opera) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+	dst := p.DstToR
+	if dst == tor {
+		return nil, false
+	}
+	var hash uint64
+	if p.Flow != nil {
+		hash = p.Flow.Hash
+	}
+	// The stable subgraph can transiently disconnect a pair (it always
+	// does when d is very small); Opera then waits for a later topology —
+	// unusable circuits are exactly the §2.2 "circuit waste". Search up to
+	// a full cycle of starting slices.
+	for wait := 0; wait < o.F.Sched.S; wait++ {
+		abs := fromAbs + int64(wait)
+		c := o.F.CyclicSlice(abs)
+		cands := o.stable[c][tor*o.F.Sched.N+dst]
+		if len(cands) == 0 {
+			continue
+		}
+		return sameSliceHops(cands[hash%uint64(len(cands))], abs), true
+	}
+	return nil, false
+}
+
+// Paths exposes the stable-graph path table for analytics (Fig 5b).
+func (o *Opera) Paths(slice, src, dst int) [][]int {
+	return o.stable[slice][src*o.F.Sched.N+dst]
+}

@@ -1,0 +1,37 @@
+// Package routing implements the routing strategies compared in the paper
+// (§2.2, §7): UCMP (the contribution), VLB, KSP (k=1 and k=5), and Opera's
+// topology-routing co-design. All satisfy netsim.Router; the pure path
+// logic is also exposed for offline path analytics (Fig 5).
+package routing
+
+import (
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/topo"
+)
+
+// hopsFromPath converts a core.Path (slices relative to its group's start)
+// into netsim planned hops anchored at absolute slice fromAbs.
+func hopsFromPath(p *core.Path, fromAbs int64) []netsim.PlannedHop {
+	offset := fromAbs - p.StartSlice
+	hops := make([]netsim.PlannedHop, len(p.Hops))
+	for i, h := range p.Hops {
+		hops[i] = netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset}
+	}
+	return hops
+}
+
+// sameSliceHops plans a node path (KSP/Opera style continuous path) with
+// every hop in the given absolute slice.
+func sameSliceHops(nodes []int, abs int64) []netsim.PlannedHop {
+	hops := make([]netsim.PlannedHop, 0, len(nodes)-1)
+	for _, v := range nodes[1:] {
+		hops = append(hops, netsim.PlannedHop{To: v, AbsSlice: abs})
+	}
+	return hops
+}
+
+// FlowCutoff15MB is Opera's hard flow-size cutoff (§2.2).
+const FlowCutoff15MB = 15 << 20
+
+var _ = topo.Config{} // the subpackages below all build on topo

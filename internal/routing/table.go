@@ -1,0 +1,116 @@
+package routing
+
+import (
+	"fmt"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+)
+
+// CompiledTable is the per-ToR UCMP source-routing lookup table of §6.2
+// (Fig 4): one entry per (destination ToR, starting slice, bucket), whose
+// action data is the SSRR hop list of the selected path (or several tied
+// parallel paths for ECMP-style selection by flow hash). It is the exact
+// artifact that would be installed into switch SRAM; Table 2's entry
+// counts are its size.
+type CompiledTable struct {
+	Tor     int
+	Entries []TableEntry
+	// index maps (dst, tstart, bucket) to the entry position.
+	index map[tableKey]int
+}
+
+// TableEntry is one match row.
+type TableEntry struct {
+	Dst    int
+	TStart int
+	Bucket int
+	// Actions holds one hop list per tied path; the action selector picks
+	// by flow hash (§6.2).
+	Actions [][]core.Hop
+}
+
+type tableKey struct{ dst, tstart, bucket int }
+
+// CompileTable materializes the lookup table for one source ToR. Adjacent
+// buckets mapping to the same path are still emitted as separate rows,
+// matching the hardware layout (several global buckets may map to the same
+// path, §6.1).
+func CompileTable(ps *core.PathSet, ager *core.FlowAger, tor int) *CompiledTable {
+	sched := ps.F.Sched
+	t := &CompiledTable{Tor: tor, index: make(map[tableKey]int)}
+	for ts := 0; ts < sched.S; ts++ {
+		for dst := 0; dst < sched.N; dst++ {
+			if dst == tor {
+				continue
+			}
+			g := ps.Group(ts, tor, dst)
+			prevEntry := -1
+			for b := 0; b < ager.NumBuckets(); b++ {
+				e := ager.EntryForBucket(g, b)
+				// Deduplicate consecutive buckets resolving to the same
+				// group entry: the switch stores one row per distinct
+				// action, with the bucket range folded into the match.
+				cur := entryIndexOf(g, e)
+				if cur == prevEntry {
+					t.index[tableKey{dst, ts, b}] = len(t.Entries) - 1
+					continue
+				}
+				prevEntry = cur
+				row := TableEntry{Dst: dst, TStart: ts, Bucket: b}
+				for _, p := range e.Paths {
+					row.Actions = append(row.Actions, p.Hops)
+				}
+				t.index[tableKey{dst, ts, b}] = len(t.Entries)
+				t.Entries = append(t.Entries, row)
+			}
+		}
+	}
+	return t
+}
+
+func entryIndexOf(g *core.Group, e *core.Entry) int {
+	for i := range g.Entries {
+		if &g.Entries[i] == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup resolves a match key to its hop list, selecting among tied
+// actions by hash, and anchors the slices at fromAbs.
+func (t *CompiledTable) Lookup(dst, tstart, bucket int, hash uint64, fromAbs int64) ([]netsim.PlannedHop, bool) {
+	i, ok := t.index[tableKey{dst, tstart, bucket}]
+	if !ok {
+		return nil, false
+	}
+	row := t.Entries[i]
+	hops := row.Actions[hash%uint64(len(row.Actions))]
+	offset := fromAbs - int64(tstart)
+	out := make([]netsim.PlannedHop, len(hops))
+	for j, h := range hops {
+		out[j] = netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset}
+	}
+	return out, true
+}
+
+// NumRows returns the distinct match rows (the Table 2 "#Entries/ToR"
+// quantity for this ToR).
+func (t *CompiledTable) NumRows() int { return len(t.Entries) }
+
+// Validate checks every row's actions are valid paths toward the row's
+// destination.
+func (t *CompiledTable) Validate(ps *core.PathSet) error {
+	for _, row := range t.Entries {
+		if len(row.Actions) == 0 {
+			return fmt.Errorf("routing: empty action list for dst %d ts %d", row.Dst, row.TStart)
+		}
+		for _, hops := range row.Actions {
+			if len(hops) == 0 || hops[len(hops)-1].To != row.Dst {
+				return fmt.Errorf("routing: action does not reach dst %d", row.Dst)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package routing
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+)
+
+func TestCompiledTableAgreesWithRouter(t *testing.T) {
+	f := fabric(t)
+	ps := core.BuildPathSet(f, 0.5)
+	u := NewUCMP(ps)
+	tor := 0
+	tbl := CompileTable(ps, u.Ager, tor)
+	if err := tbl.Validate(ps); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() == 0 {
+		t.Fatal("empty table")
+	}
+	// Every (dst, ts, bucket) lookup must reproduce the router's plan.
+	for dst := 0; dst < f.NumToRs; dst++ {
+		if dst == tor {
+			continue
+		}
+		for ts := 0; ts < f.Sched.S; ts++ {
+			for b := 0; b < u.Ager.NumBuckets(); b++ {
+				p := dataPacket(f, tor, dst, 1<<20)
+				p.Bucket = b
+				want, ok := u.PlanRoute(p, tor, 0, int64(ts))
+				if !ok {
+					t.Fatalf("router failed %d->%d", tor, dst)
+				}
+				got, ok := tbl.Lookup(dst, ts, b, p.Flow.Hash, int64(ts))
+				if !ok {
+					t.Fatalf("table miss dst=%d ts=%d b=%d", dst, ts, b)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("hop count differs dst=%d ts=%d b=%d: %v vs %v", dst, ts, b, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("hop %d differs: %v vs %v", i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledTableSize(t *testing.T) {
+	f := fabric(t)
+	ps := core.BuildPathSet(f, 0.5)
+	u := NewUCMP(ps)
+	tbl := CompileTable(ps, u.Ager, 3)
+	// Rows are bounded by (N-1) x S x buckets and at least (N-1) x S
+	// (one row per group minimum).
+	minRows := (f.NumToRs - 1) * f.Sched.S
+	maxRows := minRows * u.Ager.NumBuckets()
+	if tbl.NumRows() < minRows || tbl.NumRows() > maxRows {
+		t.Fatalf("rows %d outside [%d, %d]", tbl.NumRows(), minRows, maxRows)
+	}
+	// Missing key.
+	if _, ok := tbl.Lookup(3, 0, 0, 0, 0); ok {
+		t.Fatal("lookup for own ToR should miss")
+	}
+}

@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+// UCMP is the uniform-cost multi-path router: offline-computed UCMP groups,
+// online path assignment by flow-aging bucket (§5), source routing (§6.2).
+type UCMP struct {
+	PS   *core.PathSet
+	Ager *core.FlowAger
+
+	// Relax enables latency relaxation (§4.3): flows at least RelaxCutoff
+	// bytes ride the RotorLB machinery over the full relaxed 2-hop path
+	// set, as the paper does for the data mining workload (§7.3, which
+	// notes the htsim RotorLB implementation requires the full VLB path
+	// set).
+	Relax       bool
+	RelaxCutoff int64
+
+	// ForceBucket, when >= 0, overrides the packet's bucket tag for every
+	// route decision. It ablates the uniform-cost policy: 0 pins all
+	// traffic to the globally minimum-latency path (pure latency
+	// minimization), a large value pins it to the fewest-hop path (pure
+	// bandwidth minimization, typically the direct circuit).
+	ForceBucket int
+
+	// PathOK, when non-nil, reports whether a path is usable under the
+	// current failure scenario; unhealthy paths are skipped in favor of
+	// other group members or backup 2-hop paths (§5.3).
+	PathOK func(p *core.Path) bool
+	// TorOK, when non-nil, filters backup-path intermediates.
+	TorOK func(tor int) bool
+
+	// Backlog and CongestionThreshold enable the §10 congestion-aware
+	// extension (see congestion.go): when the primary candidate's
+	// first-hop calendar queue holds at least CongestionThreshold data
+	// packets, assignment steers to the least-congested path within one
+	// bucket of the minimum uniform cost. Backlog is usually
+	// netsim.Network.CalendarBacklog.
+	Backlog             func(tor int, hop netsim.PlannedHop) int
+	CongestionThreshold int
+}
+
+// NewUCMP builds the router from an offline PathSet.
+func NewUCMP(ps *core.PathSet) *UCMP {
+	return &UCMP{PS: ps, Ager: core.NewFlowAger(ps), RelaxCutoff: FlowCutoff15MB, ForceBucket: -1}
+}
+
+// Name implements netsim.Router.
+func (u *UCMP) Name() string { return "ucmp" }
+
+// RotorFlow implements netsim.Router: with latency relaxation on, long
+// flows use the hop-by-hop machinery over 2-hop paths.
+func (u *UCMP) RotorFlow(f *netsim.Flow) bool {
+	return u.Relax && f.Size >= u.RelaxCutoff
+}
+
+// PlanRoute implements netsim.Router. The packet's bucket tag picks the
+// entry of the UCMP group for (tor, dst, slice); parallel paths tie-break
+// on the flow hash. Control packets carry bucket 0 and ride the
+// minimum-latency path.
+func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+	dst := p.DstToR
+	if dst == tor {
+		return nil, false
+	}
+	ts := u.PS.F.CyclicSlice(fromAbs)
+	g := u.PS.Group(ts, tor, dst)
+	var hash uint64
+	if p.Flow != nil {
+		hash = p.Flow.Hash
+	}
+	bucket := p.Bucket
+	if u.ForceBucket >= 0 {
+		bucket = u.ForceBucket
+	}
+	path := u.pickUncongested(g, bucket, tor, fromAbs, hash)
+	if path == nil {
+		path = u.pickHealthy(g, bucket, hash)
+	}
+	if path == nil {
+		// Single-path group hit a failure: fall back to a backup 2-hop
+		// path avoiding failed ToRs (§5.3).
+		var exclude func(int) bool
+		if u.TorOK != nil {
+			exclude = func(t int) bool { return !u.TorOK(t) }
+		}
+		backups := u.PS.BackupPaths(ts, tor, dst, 4, exclude)
+		if len(backups) == 0 {
+			return nil, false
+		}
+		path = backups[int(hash%uint64(len(backups)))]
+	}
+	return hopsFromPath(path, fromAbs), true
+}
+
+// pickHealthy resolves the bucket to a path, skipping paths through failed
+// ToRs — first among the entry's parallel paths, then across the rest of
+// the group (same-length first, then other lengths).
+func (u *UCMP) pickHealthy(g *core.Group, bucket int, hash uint64) *core.Path {
+	want := u.Ager.EntryForBucket(g, bucket)
+	if u.PathOK == nil {
+		return want.Paths[hash%uint64(len(want.Paths))]
+	}
+	if p := healthyOf(want.Paths, hash, u.PathOK); p != nil {
+		return p
+	}
+	for i := range g.Entries {
+		e := &g.Entries[i]
+		if e == want {
+			continue
+		}
+		if p := healthyOf(e.Paths, hash, u.PathOK); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func healthyOf(paths []*core.Path, hash uint64, ok func(*core.Path) bool) *core.Path {
+	n := len(paths)
+	start := int(hash % uint64(n))
+	for i := 0; i < n; i++ {
+		p := paths[(start+i)%n]
+		if ok(p) {
+			return p
+		}
+	}
+	return nil
+}
+
+// StampBucket tags a data packet with the flow's current aging bucket
+// (host-side DSCP stamping, §6.1).
+func (u *UCMP) StampBucket(p *netsim.Packet) {
+	if p.Flow != nil && p.Type == netsim.Data {
+		p.Bucket = u.Ager.Bucket(p.Flow.BytesSent)
+	}
+}

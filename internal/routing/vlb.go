@@ -1,0 +1,63 @@
+package routing
+
+import (
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// VLB is valiant load balancing / two-phase routing (§2.2): phase 1 sprays
+// packets to random currently-connected intermediate ToRs; phase 2 forwards
+// them on the next direct circuit to the destination. Its data traffic runs
+// on the RotorLB hop-by-hop machinery (its native transport, §7.1); the
+// source-route planner below serves control packets and non-rotor use.
+type VLB struct {
+	F *topo.Fabric
+	// Failed, when non-nil, skips failed intermediates.
+	Failed func(tor int) bool
+}
+
+// NewVLB builds the router.
+func NewVLB(f *topo.Fabric) *VLB { return &VLB{F: f} }
+
+// Name implements netsim.Router.
+func (v *VLB) Name() string { return "vlb" }
+
+// RotorFlow implements netsim.Router: all VLB data traffic is rotor-class.
+func (v *VLB) RotorFlow(f *netsim.Flow) bool { return true }
+
+// PlanRoute implements netsim.Router: direct circuit if available in the
+// starting slice, otherwise a 2-hop path via a hash-chosen neighbor of the
+// current slice graph with phase 2 waiting for the next direct circuit.
+func (v *VLB) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+	dst := p.DstToR
+	if dst == tor {
+		return nil, false
+	}
+	c := v.F.CyclicSlice(fromAbs)
+	if v.F.Sched.SwitchFor(c, tor, dst) >= 0 && !v.failed(dst) {
+		return []netsim.PlannedHop{{To: dst, AbsSlice: fromAbs}}, true
+	}
+	var hash uint64
+	if p.Flow != nil {
+		hash = p.Flow.Hash + uint64(p.Seq)
+	}
+	nbs := v.F.Sched.Neighbors(nil, c, tor)
+	start := int(hash % uint64(len(nbs)))
+	for i := 0; i < len(nbs); i++ {
+		mid := nbs[(start+i)%len(nbs)]
+		if mid == dst || v.failed(mid) {
+			continue
+		}
+		e2 := v.F.Sched.NextDirect(mid, dst, fromAbs)
+		return []netsim.PlannedHop{
+			{To: mid, AbsSlice: fromAbs},
+			{To: dst, AbsSlice: e2},
+		}, true
+	}
+	// All neighbors failed or equal to dst: wait for the direct circuit.
+	e := v.F.Sched.NextDirect(tor, dst, fromAbs)
+	return []netsim.PlannedHop{{To: dst, AbsSlice: e}}, true
+}
+
+func (v *VLB) failed(tor int) bool { return v.Failed != nil && v.Failed(tor) }

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	end := e.Run(50)
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1", fired)
+	}
+	if end != 50 || e.Now() != 50 {
+		t.Fatalf("horizon time = %v, want 50", end)
+	}
+	e.Run(200)
+	if fired != 2 {
+		t.Fatalf("fired=%d after second run, want 2", fired)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	var tick func()
+	tick = func() {
+		trace = append(trace, e.Now())
+		if e.Now() < 50 {
+			e.After(10, tick)
+		}
+	}
+	e.At(0, tick)
+	e.RunAll()
+	if len(trace) != 6 {
+		t.Fatalf("trace = %v, want 6 ticks", trace)
+	}
+	for i, tm := range trace {
+		if tm != Time(i*10) {
+			t.Fatalf("tick %d at %v, want %v", i, tm, Time(i*10))
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++; e.Stop() })
+	e.At(20, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1 (Stop should halt the loop)", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", e.Pending())
+	}
+}
+
+// Property: for any set of timestamps, the engine executes callbacks in
+// non-decreasing time order and ends at the max timestamp.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(stamps []uint16) bool {
+		if len(stamps) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.RunAll()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]int64, len(stamps))
+		for i, s := range stamps {
+			want[i] = int64(s)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if int64(fired[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (5 * Microsecond).Micros() != 5.0 {
+		t.Error("Micros conversion wrong")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func() {})
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,73 @@
+package switchres
+
+import (
+	"testing"
+
+	"ucmp/internal/topo"
+)
+
+func TestComputePaperScale(t *testing.T) {
+	cfg := topo.PaperDefault()
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	u := Compute(fab, 0.5, Sampling{})
+	if u.QueuesPerPort != 18 {
+		t.Fatalf("queues/port %d, want 18 (Table 2, (108,6))", u.QueuesPerPort)
+	}
+	if u.Buckets < 5 || u.Buckets > 64 {
+		t.Fatalf("buckets %d outside DSCP-feasible range", u.Buckets)
+	}
+	if u.AvgGroupBuckets < 1 || u.AvgGroupBuckets > 10 {
+		t.Fatalf("avg group buckets %v implausible", u.AvgGroupBuckets)
+	}
+	// Paper: 9.5K entries; accept the right order of magnitude.
+	if u.EntriesPerToR < 2_000 || u.EntriesPerToR > 40_000 {
+		t.Fatalf("entries/ToR %d implausible", u.EntriesPerToR)
+	}
+	if u.SRAMPct <= 0 || u.SRAMPct > 5 {
+		t.Fatalf("SRAM%% %v implausible", u.SRAMPct)
+	}
+	if u.AvgPathHops < 1 || u.AvgPathHops > 6 {
+		t.Fatalf("avg hops %v implausible", u.AvgPathHops)
+	}
+}
+
+// Table 2's scaling claim: resources grow slowly as (N, d) scale together.
+func TestResourceScalingTrend(t *testing.T) {
+	small := computeFor(t, 108, 6)
+	big := computeFor(t, 324, 12)
+	if big.QueuesPerPort < small.QueuesPerPort {
+		t.Fatalf("queues/port shrank: %d -> %d", small.QueuesPerPort, big.QueuesPerPort)
+	}
+	// Queues/port ~ N/d stays in the same ballpark (18 -> 27 in the paper).
+	if big.QueuesPerPort > 4*small.QueuesPerPort {
+		t.Fatalf("queues/port exploded: %d -> %d", small.QueuesPerPort, big.QueuesPerPort)
+	}
+	if big.EntriesPerToR <= small.EntriesPerToR {
+		t.Fatalf("entries did not grow: %d -> %d", small.EntriesPerToR, big.EntriesPerToR)
+	}
+	// Buckets grow slowly (27 -> 34 in the paper), staying under 64.
+	if big.Buckets > 64 {
+		t.Fatalf("buckets %d exceed DSCP budget", big.Buckets)
+	}
+}
+
+func computeFor(t *testing.T, n, d int) Usage {
+	t.Helper()
+	cfg := topo.PaperDefault()
+	cfg.NumToRs, cfg.Uplinks, cfg.HostsPerToR = n, d, d
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	return Compute(fab, 0.5, Sampling{TStarts: 2, Srcs: 4})
+}
+
+func TestSamplingBounds(t *testing.T) {
+	cfg := topo.Scaled()
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	// Oversampling clamps to the fabric size without panicking.
+	u := Compute(fab, 0.5, Sampling{TStarts: 1000, Srcs: 1000})
+	if u.QueuesPerPort != fab.Sched.S {
+		t.Fatalf("queues/port %d", u.QueuesPerPort)
+	}
+	if u.Buckets < 2 {
+		t.Fatalf("buckets %d", u.Buckets)
+	}
+}

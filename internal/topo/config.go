@@ -1,0 +1,149 @@
+// Package topo models the reconfigurable data center network (RDCN) fabric:
+// the physical configuration (ToR count, uplinks, hosts, link rates, delays)
+// and the circuit schedule — the pre-determined, cyclically repeating
+// sequence of ToR-to-ToR matchings that the circuit switches realize.
+//
+// Terminology follows the UCMP paper (§2.1): the schedule is divided into
+// *time slices* of fixed duration; the matchings active in one slice form a
+// d-regular graph over the ToRs; a full rotation through all matchings is a
+// *circuit cycle*, and every ToR pair has a direct circuit at least once per
+// cycle.
+package topo
+
+import (
+	"fmt"
+
+	"ucmp/internal/sim"
+)
+
+// Config describes an RDCN instance.
+type Config struct {
+	// NumToRs is N, the number of top-of-rack switches. Must be even so the
+	// complete graph admits a one-factorization.
+	NumToRs int
+	// Uplinks is d, the number of uplinks per ToR; each uplink attaches to
+	// one circuit switch, so this is also the number of circuit switches and
+	// the number of matchings active per time slice.
+	Uplinks int
+	// HostsPerToR is the number of hosts (downlinks) per ToR.
+	HostsPerToR int
+	// LinkBps is the bandwidth of every link in bits per second.
+	LinkBps int64
+	// UplinkBps, when positive, overrides LinkBps for the circuit-facing
+	// ToR uplinks (the §8 testbed oversubscribes: 100 Gbps downlinks vs
+	// 4×10 Gbps uplinks per ToR).
+	UplinkBps int64
+	// PropDelay is the one-way ToR-to-ToR propagation delay.
+	PropDelay sim.Time
+	// HostPropDelay is the host-to-ToR propagation delay (the paper ignores
+	// it; zero is the default).
+	HostPropDelay sim.Time
+	// SliceDuration is u, the duration of one time slice.
+	SliceDuration sim.Time
+	// ReconfDelay is the circuit reconfiguration delay at the start of each
+	// slice, during which the reconfiguring circuits carry no traffic.
+	ReconfDelay sim.Time
+	// MTU is the maximum transmission unit in bytes.
+	MTU int
+}
+
+// PaperDefault returns the paper's simulated network (§7.1): 108 ToRs, 6
+// uplinks, 6 hosts per ToR, 100 Gbps links, 500 ns ToR-to-ToR propagation,
+// 50 us slices, 10 ns reconfiguration.
+func PaperDefault() Config {
+	return Config{
+		NumToRs:       108,
+		Uplinks:       6,
+		HostsPerToR:   6,
+		LinkBps:       100e9,
+		PropDelay:     500 * sim.Nanosecond,
+		SliceDuration: 50 * sim.Microsecond,
+		ReconfDelay:   10 * sim.Nanosecond,
+		MTU:           1500,
+	}
+}
+
+// Scaled returns a configuration shrunk for fast tests and benchmarks while
+// keeping the paper's structure (expander-like per-slice graphs, multi-slice
+// cycles, microsecond slices).
+func Scaled() Config {
+	return Config{
+		NumToRs:       16,
+		Uplinks:       3,
+		HostsPerToR:   2,
+		LinkBps:       40e9,
+		PropDelay:     500 * sim.Nanosecond,
+		SliceDuration: 50 * sim.Microsecond,
+		ReconfDelay:   10 * sim.Nanosecond,
+		MTU:           1500,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.NumToRs < 2:
+		return fmt.Errorf("topo: NumToRs=%d, need >= 2", c.NumToRs)
+	case c.NumToRs%2 != 0:
+		return fmt.Errorf("topo: NumToRs=%d must be even for a one-factorization", c.NumToRs)
+	case c.Uplinks < 1 || c.Uplinks > c.NumToRs-1:
+		return fmt.Errorf("topo: Uplinks=%d out of range [1,%d]", c.Uplinks, c.NumToRs-1)
+	case c.HostsPerToR < 0:
+		return fmt.Errorf("topo: HostsPerToR=%d negative", c.HostsPerToR)
+	case c.LinkBps <= 0:
+		return fmt.Errorf("topo: LinkBps=%d must be positive", c.LinkBps)
+	case c.SliceDuration <= 0:
+		return fmt.Errorf("topo: SliceDuration=%v must be positive", c.SliceDuration)
+	case c.ReconfDelay < 0 || c.ReconfDelay >= c.SliceDuration:
+		return fmt.Errorf("topo: ReconfDelay=%v must be in [0, SliceDuration)", c.ReconfDelay)
+	case c.MTU <= 0:
+		return fmt.Errorf("topo: MTU=%d must be positive", c.MTU)
+	}
+	return nil
+}
+
+// NumHosts returns the total number of hosts.
+func (c Config) NumHosts() int { return c.NumToRs * c.HostsPerToR }
+
+// UplinkRate returns the circuit-uplink bandwidth.
+func (c Config) UplinkRate() int64 {
+	if c.UplinkBps > 0 {
+		return c.UplinkBps
+	}
+	return c.LinkBps
+}
+
+// SerializationDelay returns the time to put `bytes` on a host-facing wire.
+func (c Config) SerializationDelay(bytes int) sim.Time {
+	return sim.Time(int64(bytes) * 8 * int64(sim.Second) / c.LinkBps)
+}
+
+// UplinkSerialization returns the time to put `bytes` on a circuit uplink.
+func (c Config) UplinkSerialization(bytes int) sim.Time {
+	return sim.Time(int64(bytes) * 8 * int64(sim.Second) / c.UplinkRate())
+}
+
+// HopDelay returns the per-hop delay of an MTU packet over circuits:
+// serialization plus ToR-to-ToR propagation. This is the denominator of
+// h_slice (Appendix B).
+func (c Config) HopDelay() sim.Time {
+	return c.UplinkSerialization(c.MTU) + c.PropDelay
+}
+
+// HopsPerSlice returns h_slice, the maximum number of ToR-to-ToR hops a
+// packet can traverse within a single time slice (Appendix B). It is at
+// least 1: a packet always advances at least one hop in the slice whose
+// circuit it uses.
+func (c Config) HopsPerSlice() int {
+	h := int(c.SliceDuration / c.HopDelay())
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// DutyCycle returns the fraction of each slice during which circuits carry
+// traffic: (u - reconf) / u (§7.4, "Impact of reconfiguration delay").
+func (c Config) DutyCycle() float64 {
+	return float64(c.SliceDuration-c.ReconfDelay) / float64(c.SliceDuration)
+}

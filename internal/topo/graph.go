@@ -1,0 +1,259 @@
+package topo
+
+// Graph is a static snapshot of the ToR-level connectivity in one time
+// slice: an undirected (multi-)graph given by adjacency lists. It backs the
+// KSP and Opera baselines and the diameter computation of Appendix B.
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// SliceGraph returns the graph realized by all D matchings of cyclic slice.
+// Duplicate edges (two switches connecting the same pair) are collapsed.
+func (s *Schedule) SliceGraph(slice int) *Graph {
+	g := &Graph{N: s.N, Adj: make([][]int, s.N)}
+	for i := 0; i < s.N; i++ {
+		g.Adj[i] = s.Neighbors(make([]int, 0, s.D), slice, i)
+	}
+	return g
+}
+
+// StableSliceGraph returns the Opera stable subgraph for the cyclic slice:
+// the circuits of every switch except those that reconfigure at the next
+// slice boundary. Packets routed on these circuits are never in flight
+// during a reconfiguration (§2.2). For the staggered Opera schedule this
+// removes 1/d of the circuits; for a fully reconfigurable schedule it would
+// remove everything, so callers should pair this with the Opera schedule.
+func (s *Schedule) StableSliceGraph(slice int) *Graph {
+	next := (slice + 1) % s.S
+	g := &Graph{N: s.N, Adj: make([][]int, s.N)}
+	for i := 0; i < s.N; i++ {
+		var adj []int
+		for sw := 0; sw < s.D; sw++ {
+			if s.reconf[next][sw] {
+				continue // this switch's circuits vanish at the boundary
+			}
+			p := s.slices[slice][sw][i]
+			dup := false
+			for _, q := range adj {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				adj = append(adj, p)
+			}
+		}
+		g.Adj[i] = adj
+	}
+	return g
+}
+
+// BFS returns hop distances from src to every node (-1 if unreachable).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path src->dst as a node sequence
+// (including both endpoints), or nil if unreachable.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if prev[v] < 0 {
+				prev[v] = u
+				if v == dst {
+					return buildPath(prev, src, dst)
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+func buildPath(prev []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != src; v = prev[v] {
+		rev = append(rev, v)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Diameter returns the maximum finite BFS distance over all pairs, or -1 if
+// the graph is disconnected.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for src := 0; src < g.N; src++ {
+		dist := g.BFS(src)
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// MaxDiameter returns h_static (Appendix B): the maximum diameter over all
+// per-slice topology instances of the schedule. Disconnected instances
+// contribute the node count as a conservative bound.
+func (s *Schedule) MaxDiameter() int {
+	max := 0
+	for sl := 0; sl < s.S; sl++ {
+		d := s.SliceGraph(sl).Diameter()
+		if d < 0 {
+			d = s.N
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// using Yen's algorithm over unit edge weights. Paths are ordered by hop
+// count, then by discovery order. The baseline KSP routing (§2.2) uses this
+// per slice graph instance.
+func (g *Graph) KShortestPaths(src, dst, k int) [][]int {
+	first := g.ShortestPath(src, dst)
+	if first == nil || k <= 0 {
+		return nil
+	}
+	paths := [][]int{first}
+	var candidates [][]int
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+			// Build a graph with removed edges/nodes.
+			banned := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					banned[[2]int{p[i], p[i+1]}] = true
+					banned[[2]int{p[i+1], p[i]}] = true
+				}
+			}
+			blockedNode := make([]bool, g.N)
+			for _, v := range rootPath[:len(rootPath)-1] {
+				blockedNode[v] = true
+			}
+			spur := g.shortestPathFiltered(spurNode, dst, banned, blockedNode)
+			if spur == nil {
+				continue
+			}
+			total := append(append([]int{}, rootPath[:len(rootPath)-1]...), spur...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pick the shortest candidate.
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if len(candidates[i]) < len(candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+func (g *Graph) shortestPathFiltered(src, dst int, banned map[[2]int]bool, blockedNode []bool) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if blockedNode[v] || prev[v] >= 0 || banned[[2]int{u, v}] {
+				continue
+			}
+			prev[v] = u
+			if v == dst {
+				return buildPath(prev, src, dst)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths [][]int, p []int) bool {
+	for _, q := range paths {
+		if len(q) != len(p) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if q[i] != p[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

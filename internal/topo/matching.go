@@ -1,0 +1,79 @@
+package topo
+
+import "fmt"
+
+// Matching is a perfect matching over the ToRs: Matching[i] is the peer of
+// ToR i. A valid matching is an involution without fixed points.
+type Matching []int
+
+// Validate reports whether m is a perfect matching on n nodes.
+func (m Matching) Validate() error {
+	n := len(m)
+	for i, p := range m {
+		if p < 0 || p >= n {
+			return fmt.Errorf("topo: matching peer %d of node %d out of range", p, i)
+		}
+		if p == i {
+			return fmt.Errorf("topo: node %d matched to itself", i)
+		}
+		if m[p] != i {
+			return fmt.Errorf("topo: matching not symmetric at %d<->%d", i, p)
+		}
+	}
+	return nil
+}
+
+// ExpanderFactorization returns a one-factorization of K_n whose matchings,
+// grouped d at a time, form small-diameter (expander-like) slice graphs, as
+// traffic-oblivious RDCNs require (§2.1: "deliberately choose a sequence of
+// well-connected graphs"). The circle-method matchings are deterministically
+// shuffled: consecutive circle-method rounds are too structured and their
+// unions have roughly twice the diameter of a random d-regular graph.
+func ExpanderFactorization(n int) []Matching {
+	rounds := OneFactorization(n)
+	// Deterministic LCG-driven Fisher-Yates so schedules are reproducible
+	// without threading a seed through every call site.
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := len(rounds) - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		rounds[i], rounds[j] = rounds[j], rounds[i]
+	}
+	return rounds
+}
+
+// OneFactorization decomposes the complete graph K_n (n even) into n-1
+// perfect matchings using the circle method: node n-1 is fixed at the hub
+// and the remaining n-1 nodes rotate. Every unordered pair {i,j} appears in
+// exactly one matching.
+func OneFactorization(n int) []Matching {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("topo: OneFactorization needs even n >= 2, got %d", n))
+	}
+	rounds := make([]Matching, n-1)
+	for r := 0; r < n-1; r++ {
+		rounds[r] = CircleRound(n, r)
+	}
+	return rounds
+}
+
+// CircleRound materializes round r (0 <= r < n-1) of the circle-method
+// one-factorization of K_n without building the other rounds — used for
+// sampled analyses of very large fabrics (Appendix B at 4320 ToRs).
+func CircleRound(n, r int) Matching {
+	if n < 2 || n%2 != 0 || r < 0 || r >= n-1 {
+		panic(fmt.Sprintf("topo: CircleRound(%d, %d) out of range", n, r))
+	}
+	m := n - 1 // number of rotating nodes
+	match := make(Matching, n)
+	// Hub pairs with the rotating node r.
+	match[n-1] = r
+	match[r] = n - 1
+	for k := 1; k <= (m-1)/2; k++ {
+		a := (r + k) % m
+		b := (r - k + m) % m
+		match[a] = b
+		match[b] = a
+	}
+	return match
+}

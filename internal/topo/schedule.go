@@ -1,0 +1,189 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schedule is a pre-determined, cyclically repeating circuit schedule: for
+// each time slice of the cycle and each circuit switch, the ToR matching the
+// switch realizes. Schedules are traffic-oblivious (§2.1).
+type Schedule struct {
+	// N is the number of ToRs, D the number of circuit switches (= uplinks
+	// per ToR), S the number of time slices per circuit cycle.
+	N, D, S int
+	// Kind names the generator ("round-robin", "random", "opera").
+	Kind string
+
+	slices [][]Matching // [S][D] matching per slice per switch
+	reconf [][]bool     // [S][D] true if switch reconfigures entering slice s
+	direct [][]int32    // [N*N] cyclic slices in which pair (i,j) has a circuit
+}
+
+// RoundRobin builds the fully reconfigurable schedule used by UCMP, VLB and
+// KSP in the paper (§7.1): the N-1 matchings of a one-factorization are
+// grouped d at a time into ceil((N-1)/d) slices, and every circuit switch
+// reconfigures at every slice boundary. If d does not divide N-1, the final
+// slice is padded with matchings from the start of the factorization, so
+// every slice graph is d-regular.
+func RoundRobin(n, d int) *Schedule {
+	rounds := ExpanderFactorization(n)
+	s := (len(rounds) + d - 1) / d
+	sched := &Schedule{N: n, D: d, S: s, Kind: "round-robin"}
+	sched.build(func(slice, sw int) Matching {
+		return rounds[(slice*d+sw)%len(rounds)]
+	}, func(slice, sw int) bool { return true })
+	return sched
+}
+
+// Random builds a schedule like RoundRobin but with the matchings assigned
+// to slices in a pseudo-random order (used for the alternative schedule in
+// Fig 16 and the "arbitrary schedules" claim of §3.2).
+func Random(n, d int, seed int64) *Schedule {
+	rounds := ExpanderFactorization(n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(rounds), func(i, j int) { rounds[i], rounds[j] = rounds[j], rounds[i] })
+	s := (len(rounds) + d - 1) / d
+	sched := &Schedule{N: n, D: d, S: s, Kind: "random"}
+	sched.build(func(slice, sw int) Matching {
+		return rounds[(slice*d+sw)%len(rounds)]
+	}, func(slice, sw int) bool { return true })
+	return sched
+}
+
+// Opera builds Opera's native staggered schedule (§2.2, §7.1): circuit
+// switch k owns every d-th matching of the factorization and holds each for
+// d consecutive slices; exactly one switch reconfigures at each slice
+// boundary (switch s mod d at the boundary entering slice s). The cycle is
+// L*d slices with L = ceil((N-1)/d), so each pair still gets a direct
+// circuit every cycle, and at any instant (d-1)/d of the circuits are
+// stable.
+func Opera(n, d int) *Schedule {
+	rounds := ExpanderFactorization(n)
+	l := (len(rounds) + d - 1) / d
+	// own[k] lists the matchings owned by switch k, padded by wrapping.
+	own := make([][]Matching, d)
+	for k := 0; k < d; k++ {
+		own[k] = make([]Matching, l)
+		for i := 0; i < l; i++ {
+			own[k][i] = rounds[(i*d+k)%len(rounds)]
+		}
+	}
+	s := l * d
+	sched := &Schedule{N: n, D: d, S: s, Kind: "opera"}
+	sched.build(func(slice, sw int) Matching {
+		// Switch sw advances at the boundaries entering slices sw, sw+d,
+		// sw+2d, ... Its index during slice `slice` is the number of
+		// advances performed so far.
+		adv := 0
+		if slice >= sw {
+			adv = (slice-sw)/d + 1
+		}
+		return own[sw][adv%l]
+	}, func(slice, sw int) bool { return slice%d == sw })
+	return sched
+}
+
+// build fills the slice tables from a matching generator and reconfiguration
+// predicate, then indexes direct circuits per pair.
+func (s *Schedule) build(mat func(slice, sw int) Matching, rec func(slice, sw int) bool) {
+	s.slices = make([][]Matching, s.S)
+	s.reconf = make([][]bool, s.S)
+	for sl := 0; sl < s.S; sl++ {
+		s.slices[sl] = make([]Matching, s.D)
+		s.reconf[sl] = make([]bool, s.D)
+		for sw := 0; sw < s.D; sw++ {
+			s.slices[sl][sw] = mat(sl, sw)
+			s.reconf[sl][sw] = rec(sl, sw)
+		}
+	}
+	s.direct = make([][]int32, s.N*s.N)
+	for sl := 0; sl < s.S; sl++ {
+		for sw := 0; sw < s.D; sw++ {
+			m := s.slices[sl][sw]
+			for i := 0; i < s.N; i++ {
+				j := m[i]
+				if j > i {
+					// Record once per slice even if two switches realize
+					// the same pair in this slice.
+					di := s.direct[i*s.N+j]
+					if len(di) == 0 || di[len(di)-1] != int32(sl) {
+						s.direct[i*s.N+j] = append(di, int32(sl))
+						s.direct[j*s.N+i] = append(s.direct[j*s.N+i], int32(sl))
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchingAt returns the matching realized by switch sw during cyclic slice.
+func (s *Schedule) MatchingAt(slice, sw int) Matching { return s.slices[slice][sw] }
+
+// PeerOf returns the ToR connected to `tor` through switch sw in the slice.
+func (s *Schedule) PeerOf(slice, tor, sw int) int { return s.slices[slice][sw][tor] }
+
+// ReconfiguresAt reports whether switch sw reconfigures at the boundary
+// entering the cyclic slice (its circuits are dark for the reconfiguration
+// delay at the start of that slice).
+func (s *Schedule) ReconfiguresAt(slice, sw int) bool { return s.reconf[slice][sw] }
+
+// Neighbors appends the ToRs adjacent to `tor` in the slice graph to dst and
+// returns it. Duplicate peers (two switches realizing the same pair) are
+// deduplicated.
+func (s *Schedule) Neighbors(dst []int, slice, tor int) []int {
+	for sw := 0; sw < s.D; sw++ {
+		p := s.slices[slice][sw][tor]
+		dup := false
+		for _, q := range dst {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// SwitchFor returns a switch whose matching connects tor and peer in the
+// slice, or -1 if they are not directly connected then.
+func (s *Schedule) SwitchFor(slice, tor, peer int) int {
+	for sw := 0; sw < s.D; sw++ {
+		if s.slices[slice][sw][tor] == peer {
+			return sw
+		}
+	}
+	return -1
+}
+
+// DirectSlices returns the cyclic slices during which ToRs a and b have a
+// direct circuit. The returned slice is shared; callers must not modify it.
+func (s *Schedule) DirectSlices(a, b int) []int32 { return s.direct[a*s.N+b] }
+
+// NextDirect returns the earliest absolute slice >= from in which a and b
+// have a direct circuit. Every pair is connected at least once per cycle for
+// the provided generators, so this always succeeds.
+func (s *Schedule) NextDirect(a, b int, from int64) int64 {
+	ds := s.direct[a*s.N+b]
+	if len(ds) == 0 {
+		panic(fmt.Sprintf("topo: pair (%d,%d) never connected", a, b))
+	}
+	cyc := int32(from % int64(s.S))
+	base := from - int64(cyc)
+	// ds is sorted ascending; find first >= cyc, else wrap to next cycle.
+	for _, d := range ds {
+		if d >= cyc {
+			return base + int64(d)
+		}
+	}
+	return base + int64(s.S) + int64(ds[0])
+}
+
+// WaitSlices returns how many slices after `from` the next direct circuit
+// between a and b appears (0 = this very slice).
+func (s *Schedule) WaitSlices(a, b int, from int64) int64 {
+	return s.NextDirect(a, b, from) - from
+}

@@ -1,0 +1,121 @@
+// Package traceio reads and writes flow traces and results as CSV, so
+// external traces can drive the simulator and FCT series can feed external
+// plotting.
+//
+// Flow trace format (header optional):
+//
+//	id,src_host,dst_host,size_bytes,arrival_ns
+//
+// FCT output format:
+//
+//	id,src_host,dst_host,size_bytes,arrival_ns,fct_ns,finished
+package traceio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+// ReadFlows parses a flow trace.
+func ReadFlows(r io.Reader) ([]*netsim.Flow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	cr.TrimLeadingSpace = true
+	var flows []*netsim.Flow
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traceio: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == "id" {
+			continue // header
+		}
+		vals := make([]int64, 5)
+		for i, field := range rec {
+			v, err := strconv.ParseInt(field, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("traceio: line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[3] <= 0 {
+			return nil, fmt.Errorf("traceio: line %d: non-positive size %d", line, vals[3])
+		}
+		if vals[4] < 0 {
+			return nil, fmt.Errorf("traceio: line %d: negative arrival %d", line, vals[4])
+		}
+		flows = append(flows, netsim.NewFlow(vals[0], int(vals[1]), int(vals[2]), vals[3], sim.Time(vals[4])))
+	}
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].Arrival < flows[j].Arrival })
+	return flows, nil
+}
+
+// WriteFlows emits a flow trace with header.
+func WriteFlows(w io.Writer, flows []*netsim.Flow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src_host", "dst_host", "size_bytes", "arrival_ns"}); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatInt(f.ID, 10),
+			strconv.Itoa(f.SrcHost),
+			strconv.Itoa(f.DstHost),
+			strconv.FormatInt(f.Size, 10),
+			strconv.FormatInt(int64(f.Arrival), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFCTs emits per-flow results, sorted by flow id. MPTCP subflows
+// (Child) are skipped.
+func WriteFCTs(w io.Writer, flows []*netsim.Flow) error {
+	sorted := make([]*netsim.Flow, 0, len(flows))
+	for _, f := range flows {
+		if f.Child {
+			continue
+		}
+		sorted = append(sorted, f)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "src_host", "dst_host", "size_bytes", "arrival_ns", "fct_ns", "finished"}); err != nil {
+		return err
+	}
+	for _, f := range sorted {
+		fct := int64(-1)
+		if f.Finished {
+			fct = int64(f.FCT())
+		}
+		rec := []string{
+			strconv.FormatInt(f.ID, 10),
+			strconv.Itoa(f.SrcHost),
+			strconv.Itoa(f.DstHost),
+			strconv.FormatInt(f.Size, 10),
+			strconv.FormatInt(int64(f.Arrival), 10),
+			strconv.FormatInt(fct, 10),
+			strconv.FormatBool(f.Finished),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,82 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	flows := []*netsim.Flow{
+		netsim.NewFlow(2, 1, 5, 1000, 20*sim.Microsecond),
+		netsim.NewFlow(1, 0, 3, 500, 10*sim.Microsecond),
+	}
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d flows", len(got))
+	}
+	// Sorted by arrival on read.
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("order: %d, %d", got[0].ID, got[1].ID)
+	}
+	if got[0].Size != 500 || got[0].Arrival != 10*sim.Microsecond || got[0].DstHost != 3 {
+		t.Fatalf("fields lost: %+v", got[0])
+	}
+	// Hashes are re-derived deterministically.
+	if got[0].Hash != netsim.NewFlow(1, 0, 3, 500, 0).Hash {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestReadFlowsErrors(t *testing.T) {
+	cases := []string{
+		"id,src_host,dst_host,size_bytes,arrival_ns\n1,0,3,abc,0\n",
+		"1,0,3,0,0\n",    // zero size
+		"1,0,3,100,-5\n", // negative arrival
+		"1,0,3,100\n",    // wrong field count
+	}
+	for i, c := range cases {
+		if _, err := ReadFlows(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Header-only is fine and empty.
+	got, err := ReadFlows(strings.NewReader("id,src_host,dst_host,size_bytes,arrival_ns\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header-only: %v, %d flows", err, len(got))
+	}
+}
+
+func TestWriteFCTs(t *testing.T) {
+	done := netsim.NewFlow(1, 0, 3, 500, 10)
+	done.Finished = true
+	done.FinishedAt = 1010
+	pending := netsim.NewFlow(2, 1, 4, 900, 0)
+	child := netsim.NewFlow(3, 1, 4, 100, 0)
+	child.Child = true
+	var buf bytes.Buffer
+	if err := WriteFCTs(&buf, []*netsim.Flow{pending, done, child}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows (child skipped)
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[1], "1,0,3,500,10,1000,true") {
+		t.Fatalf("finished row wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "2,1,4,900,0,-1,false") {
+		t.Fatalf("pending row wrong: %s", lines[2])
+	}
+}

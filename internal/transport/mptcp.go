@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"ucmp/internal/netsim"
+)
+
+// MPTCP is the §10-suggested multipath transport: a flow is split into
+// subflows that travel different UCMP paths in parallel (distinct 5-tuple
+// hashes select distinct parallel group members, like MPTCP over KSP on
+// expanders). This implementation stripes the byte range statically across
+// subflows, each a full DCTCP state machine; the parent flow completes
+// when every stripe has been delivered. Dynamic (opportunistic) scheduling
+// across subflows is left out, matching the paper's framing of this as
+// future work.
+const MPTCP Kind = "mptcp"
+
+// MPTCPSubflows is the number of subflows per parent flow (UCMP retains up
+// to 4 tied parallel paths per group entry, so 4 is the natural width).
+const MPTCPSubflows = 4
+
+// childIDSpace offsets subflow ids away from workload-generated flow ids.
+const childIDSpace = int64(1) << 40
+
+// launchMPTCP registers subflows and wires parent completion.
+func (s *Stack) launchMPTCP(f *netsim.Flow) func() {
+	k := MPTCPSubflows
+	if f.Size < int64(k)*MSS {
+		k = 1
+	}
+	stripe := f.Size / int64(k)
+	starts := make([]func(), 0, k)
+	remaining := f.Size
+	for i := 0; i < k; i++ {
+		size := stripe
+		if i == k-1 {
+			size = remaining
+		}
+		remaining -= size
+		child := netsim.NewFlow(childIDSpace+f.ID*int64(MPTCPSubflows)+int64(i), f.SrcHost, f.DstHost, size, f.Arrival)
+		child.Child = true
+		s.Net.RegisterFlow(child)
+		snd := newTCPSender(s.Net, child, true, s.rto())
+		rcv := &tcpReceiver{net: s.Net, f: child, ivs: &intervalSet{}}
+		child.SenderEP = snd
+		child.ReceiverEP = mptcpAggregator{parent: f, child: child, inner: rcv, net: s.Net}
+		starts = append(starts, snd.start)
+	}
+	return func() {
+		for _, st := range starts {
+			st()
+		}
+	}
+}
+
+// mptcpAggregator forwards to the subflow receiver and folds completed
+// stripes into the parent flow.
+type mptcpAggregator struct {
+	parent *netsim.Flow
+	child  *netsim.Flow
+	inner  netsim.Endpoint
+	net    *netsim.Network
+}
+
+// Deliver implements netsim.Endpoint.
+func (a mptcpAggregator) Deliver(p *netsim.Packet) {
+	was := a.child.BytesDelivered
+	a.inner.Deliver(p)
+	if d := a.child.BytesDelivered - was; d > 0 {
+		// Credit parent progress without double-counting fabric bytes
+		// (the child's RecordDelivered already updated the counters).
+		a.parent.BytesDelivered += d
+		if a.parent.BytesDelivered >= a.parent.Size {
+			a.net.FlowFinished(a.parent)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"testing"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+func TestMPTCPDelivers(t *testing.T) {
+	eng, net, _ := miniNet(t, DCTCP)
+	stack := NewStack(net, MPTCP)
+	f := netsim.NewFlow(1, 0, 17, 5_000_000, 0)
+	stack.Launch(f)
+	eng.Run(200 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatalf("parent unfinished: %d/%d", f.BytesDelivered, f.Size)
+	}
+	if f.BytesDelivered != f.Size {
+		t.Fatalf("parent delivered %d, want %d", f.BytesDelivered, f.Size)
+	}
+	// Children exist, are flagged, and sum to the parent size.
+	var childBytes int64
+	children := 0
+	for _, fl := range net.Flows() {
+		if fl.Child {
+			children++
+			childBytes += fl.Size
+			if !fl.Finished {
+				t.Errorf("child %d unfinished", fl.ID)
+			}
+		}
+	}
+	if children != MPTCPSubflows {
+		t.Fatalf("%d children, want %d", children, MPTCPSubflows)
+	}
+	if childBytes != f.Size {
+		t.Fatalf("stripes sum to %d, want %d", childBytes, f.Size)
+	}
+}
+
+func TestMPTCPTinyFlowSingleSubflow(t *testing.T) {
+	eng, net, _ := miniNet(t, DCTCP)
+	stack := NewStack(net, MPTCP)
+	f := netsim.NewFlow(1, 2, 19, 2000, 0) // below k*MSS
+	stack.Launch(f)
+	eng.Run(50 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatal("tiny MPTCP flow unfinished")
+	}
+	children := 0
+	for _, fl := range net.Flows() {
+		if fl.Child {
+			children++
+		}
+	}
+	if children != 1 {
+		t.Fatalf("tiny flow split into %d subflows, want 1", children)
+	}
+}
+
+func TestMPTCPChildrenExcludedFromMetrics(t *testing.T) {
+	eng, net, _ := miniNet(t, DCTCP)
+	stack := NewStack(net, MPTCP)
+	// The raw hook sees every completion including children; the metrics
+	// Collector filters children. Ensure the parent completes exactly once
+	// and children are distinguishable.
+	parents, children := 0, 0
+	net.OnFlowDone = func(fl *netsim.Flow) {
+		if fl.Child {
+			children++
+		} else {
+			parents++
+		}
+	}
+	f := netsim.NewFlow(1, 4, 21, 1_000_000, 0)
+	stack.Launch(f)
+	eng.Run(100 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatal("unfinished")
+	}
+	if parents != 1 {
+		t.Fatalf("parent completed %d times", parents)
+	}
+	if children != MPTCPSubflows {
+		t.Fatalf("children completed %d times, want %d", children, MPTCPSubflows)
+	}
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+// ndpIW is NDP's initial window in packets: the sender blasts this many
+// segments at line rate; everything after is receiver-pulled.
+const ndpIW = 10
+
+// ndpSender implements the sender side of NDP (Handley et al., §7.1):
+// blind first window, then one segment per PULL, retransmitting NACKed
+// (trimmed) segments with priority.
+type ndpSender struct {
+	net  *netsim.Network
+	f    *netsim.Flow
+	host *netsim.Host
+
+	sndNxt int64
+	rtxQ   []int64 // segment offsets awaiting retransmission
+	inRtx  map[int64]bool
+}
+
+func newNDPSender(n *netsim.Network, f *netsim.Flow) *ndpSender {
+	return &ndpSender{net: n, f: f, host: n.Hosts[f.SrcHost], inRtx: make(map[int64]bool)}
+}
+
+func (s *ndpSender) start() {
+	for i := 0; i < ndpIW && s.sndNxt < s.f.Size; i++ {
+		s.sendNew()
+	}
+}
+
+func (s *ndpSender) sendNew() {
+	length := int64(MSS)
+	if s.sndNxt+length > s.f.Size {
+		length = s.f.Size - s.sndNxt
+	}
+	s.emit(s.sndNxt, int(length))
+	s.sndNxt += length
+	s.f.BytesSent += length
+}
+
+func (s *ndpSender) emit(seq int64, length int) {
+	p := &netsim.Packet{
+		Flow:       s.f,
+		Type:       netsim.Data,
+		Seq:        seq,
+		PayloadLen: length,
+		WireLen:    length + netsim.HeaderBytes,
+	}
+	s.host.Send(p)
+}
+
+// Deliver implements netsim.Endpoint: NACKs queue retransmissions, PULLs
+// release one segment each (retransmissions first).
+func (s *ndpSender) Deliver(p *netsim.Packet) {
+	switch p.Type {
+	case netsim.Nack:
+		if !s.inRtx[p.Seq] {
+			s.inRtx[p.Seq] = true
+			s.rtxQ = append(s.rtxQ, p.Seq)
+		}
+	case netsim.Pull:
+		if len(s.rtxQ) > 0 {
+			seq := s.rtxQ[0]
+			s.rtxQ = s.rtxQ[1:]
+			delete(s.inRtx, seq)
+			length := int64(MSS)
+			if seq+length > s.f.Size {
+				length = s.f.Size - seq
+			}
+			s.emit(seq, int(length))
+			return
+		}
+		if s.sndNxt < s.f.Size {
+			s.sendNew()
+		}
+	}
+}
+
+// ndpReceiver acknowledges data, NACKs trimmed headers, and paces PULLs
+// through the per-host pacer. A repair timer covers packets dropped
+// outright (the §6.3 recirculation limit) by NACKing holes after an idle
+// timeout — the RTX-timeout fallback real NDP stacks carry.
+type ndpReceiver struct {
+	net  *netsim.Network
+	f    *netsim.Flow
+	host *netsim.Host
+	ivs  *intervalSet
+	// pulls outstanding beyond the first window are capped implicitly by
+	// one-pull-per-arrival.
+	pacer *pullPacer
+
+	rto       sim.Time
+	lastHeard sim.Time
+}
+
+func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
+	host := stack.Net.Hosts[f.DstHost]
+	return &ndpReceiver{
+		net: stack.Net, f: f, host: host, ivs: &intervalSet{},
+		pacer: stack.pacer(f.DstHost), rto: stack.rto(),
+	}
+}
+
+// armRepair schedules the idle-repair check.
+func (r *ndpReceiver) armRepair() {
+	if r.f.Finished {
+		return
+	}
+	r.net.Eng.After(r.rto, r.repairTick)
+}
+
+// repairTick NACKs missing chunks if the flow has gone quiet.
+func (r *ndpReceiver) repairTick() {
+	if r.f.Finished {
+		return
+	}
+	if r.net.Eng.Now()-r.lastHeard >= r.rto {
+		budget := 16
+		for _, hole := range r.ivs.holes(budget, r.f.Size) {
+			for seq := hole[0]; seq < hole[1] && budget > 0; seq += MSS {
+				nack := &netsim.Packet{Flow: r.f, Type: netsim.Nack, Seq: seq, WireLen: netsim.HeaderBytes}
+				r.host.Send(nack)
+				r.pacer.request(r)
+				budget--
+			}
+			if budget == 0 {
+				break
+			}
+		}
+	}
+	r.armRepair()
+}
+
+// Deliver implements netsim.Endpoint.
+func (r *ndpReceiver) Deliver(p *netsim.Packet) {
+	if p.Type != netsim.Data || r.f.Finished {
+		return
+	}
+	r.lastHeard = r.net.Eng.Now()
+	if p.Trimmed {
+		nack := &netsim.Packet{Flow: r.f, Type: netsim.Nack, Seq: p.Seq, WireLen: netsim.HeaderBytes}
+		r.host.Send(nack)
+		r.pacer.request(r)
+		return
+	}
+	newBytes := r.ivs.add(p.Seq, p.Seq+int64(p.PayloadLen))
+	r.net.RecordDelivered(r.f, newBytes)
+	if r.f.Finished {
+		return
+	}
+	// One pull credit per arrival: the sender emits exactly one segment
+	// (retransmission first) per pull, so pulls are self-limiting.
+	r.pacer.request(r)
+}
+
+func (r *ndpReceiver) sendPull() {
+	if r.f.Finished {
+		return
+	}
+	pull := &netsim.Packet{Flow: r.f, Type: netsim.Pull, WireLen: netsim.HeaderBytes}
+	r.host.Send(pull)
+}
+
+// pullPacer spaces PULLs of all flows terminating at one host at the link
+// rate (one MTU serialization per pull), the core of NDP's receiver-driven
+// allocation.
+type pullPacer struct {
+	net      *netsim.Network
+	host     int
+	queue    []*ndpReceiver
+	nextFree sim.Time
+}
+
+func (s *Stack) pacer(host int) *pullPacer {
+	p, ok := s.pacers[host]
+	if !ok {
+		p = &pullPacer{net: s.Net, host: host}
+		s.pacers[host] = p
+	}
+	return p
+}
+
+func (p *pullPacer) request(r *ndpReceiver) {
+	p.queue = append(p.queue, r)
+	p.drain()
+}
+
+func (p *pullPacer) drain() {
+	now := p.net.Eng.Now()
+	if now < p.nextFree {
+		return
+	}
+	if len(p.queue) == 0 {
+		return
+	}
+	r := p.queue[0]
+	p.queue = p.queue[1:]
+	r.sendPull()
+	gap := p.net.F.SerializationDelay(MSS + netsim.HeaderBytes)
+	p.nextFree = now + gap
+	if len(p.queue) > 0 {
+		p.net.Eng.At(p.nextFree, p.drain)
+	}
+}

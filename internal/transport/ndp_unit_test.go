@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"testing"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+func unitNDP(t *testing.T, size int64) (*ndpSender, *netsim.Network) {
+	t.Helper()
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	eng := sim.NewEngine()
+	net := netsim.New(eng, f, nullRouter{}, netsim.NDPQueues(), netsim.NDPQueues(), netsim.RotorConfig{})
+	net.Start()
+	fl := netsim.NewFlow(1, 0, 17, size, 0)
+	net.RegisterFlow(fl)
+	s := newNDPSender(net, fl)
+	fl.SenderEP = s
+	fl.ReceiverEP = sinkEndpoint{}
+	return s, net
+}
+
+func TestNDPInitialWindow(t *testing.T) {
+	s, _ := unitNDP(t, 1<<20)
+	s.start()
+	if s.sndNxt != int64(ndpIW)*MSS {
+		t.Fatalf("initial window sent %d bytes, want %d", s.sndNxt, ndpIW*MSS)
+	}
+	// Tiny flow sends only what exists.
+	s2, _ := unitNDP(t, 100)
+	s2.start()
+	if s2.sndNxt != 100 {
+		t.Fatalf("tiny flow sent %d", s2.sndNxt)
+	}
+}
+
+func TestNDPPullReleasesOneSegment(t *testing.T) {
+	s, _ := unitNDP(t, 1<<20)
+	s.start()
+	before := s.sndNxt
+	s.Deliver(&netsim.Packet{Type: netsim.Pull})
+	if s.sndNxt != before+MSS {
+		t.Fatalf("pull released %d bytes", s.sndNxt-before)
+	}
+}
+
+func TestNDPNackPrioritizedOnPull(t *testing.T) {
+	s, _ := unitNDP(t, 1<<20)
+	s.start()
+	s.Deliver(&netsim.Packet{Type: netsim.Nack, Seq: 0})
+	before := s.sndNxt
+	// The next pull retransmits the NACKed segment instead of new data.
+	s.Deliver(&netsim.Packet{Type: netsim.Pull})
+	if s.sndNxt != before {
+		t.Fatalf("pull sent new data (%d bytes) instead of the retransmission", s.sndNxt-before)
+	}
+	if len(s.rtxQ) != 0 {
+		t.Fatalf("rtx queue not drained: %v", s.rtxQ)
+	}
+	// Duplicate NACKs for the same segment are folded.
+	s.Deliver(&netsim.Packet{Type: netsim.Nack, Seq: MSS})
+	s.Deliver(&netsim.Packet{Type: netsim.Nack, Seq: MSS})
+	if len(s.rtxQ) != 1 {
+		t.Fatalf("duplicate NACK queued twice: %v", s.rtxQ)
+	}
+}
+
+func TestNDPPullAfterEndOfFlowIsNoop(t *testing.T) {
+	s, net := unitNDP(t, 2*MSS)
+	s.start() // sends everything (2 segments < IW)
+	net.Eng.Run(100 * sim.Microsecond)
+	before := net.Counters.DataPackets
+	s.Deliver(&netsim.Packet{Type: netsim.Pull})
+	net.Eng.Run(200 * sim.Microsecond)
+	if net.Counters.DataPackets != before {
+		t.Fatalf("pull after end of flow sent data")
+	}
+}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"ucmp/internal/netsim"
+)
+
+// rotorSender is the host side of RotorLB (§7.1): it streams segments into
+// its ToR's local VOQ for the destination rack, blocking on the credit
+// backpressure the ToR exposes. No retransmission machinery: the in-fabric
+// path is lossless by construction (bounded indirection, unbounded VOQs).
+type rotorSender struct {
+	net  *netsim.Network
+	f    *netsim.Flow
+	host *netsim.Host
+	tor  *netsim.ToR
+
+	next   int64
+	dstToR int
+}
+
+func newRotorSender(n *netsim.Network, f *netsim.Flow) *rotorSender {
+	host := n.Hosts[f.SrcHost]
+	return &rotorSender{
+		net: n, f: f, host: host,
+		tor:    n.ToRs[host.ToR()],
+		dstToR: n.HostToR(f.DstHost),
+	}
+}
+
+func (s *rotorSender) start() { s.push() }
+
+// push streams segments while credit lasts, then parks on a notify.
+func (s *rotorSender) push() {
+	for s.next < s.f.Size {
+		if !s.tor.RotorHasCredit(s.dstToR) {
+			s.tor.RotorNotify(s.dstToR, s.push)
+			return
+		}
+		length := int64(MSS)
+		if s.next+length > s.f.Size {
+			length = s.f.Size - s.next
+		}
+		p := &netsim.Packet{
+			Flow:       s.f,
+			Type:       netsim.Data,
+			Seq:        s.next,
+			PayloadLen: int(length),
+			WireLen:    int(length) + netsim.HeaderBytes,
+		}
+		s.host.Send(p)
+		s.next += length
+		s.f.BytesSent += length
+	}
+}
+
+// Deliver implements netsim.Endpoint; RotorLB senders receive no control
+// traffic.
+func (s *rotorSender) Deliver(p *netsim.Packet) {}
+
+// rotorReceiver counts arriving payload; RotorLB never duplicates bytes,
+// so every arrival is new.
+type rotorReceiver struct {
+	net *netsim.Network
+	f   *netsim.Flow
+}
+
+// Deliver implements netsim.Endpoint.
+func (r *rotorReceiver) Deliver(p *netsim.Packet) {
+	if p.Type != netsim.Data || p.Trimmed {
+		return
+	}
+	r.net.RecordDelivered(r.f, int64(p.PayloadLen))
+}
