@@ -1,0 +1,26 @@
+# Standard checks for the UCMP reproduction. `make check` is what CI (and a
+# pre-commit run) should execute: vet, build, the full test suite, and the
+# race detector over the packages with intentional concurrency (the parallel
+# offline build in internal/core and the engine in internal/sim).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# bench reproduces the numbers tracked in results/BENCH_seed.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkOffline_PathSetBuild' -benchmem -benchtime 200x .

@@ -281,6 +281,17 @@ func BenchmarkOffline_PathSetBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkOffline_PathSetBuildSerial pins the build to one worker: the
+// number to compare against results/BENCH_seed.json when judging the
+// single-threaded speedup, independent of the machine's core count.
+func BenchmarkOffline_PathSetBuildSerial(b *testing.B) {
+	fab := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildPathSetOpts(fab, 0.5, core.BuildOptions{Workers: 1})
+	}
+}
+
 func BenchmarkOffline_ComputeRow(b *testing.B) {
 	cfg := topo.PaperDefault()
 	fab := topo.MustFabric(cfg, "round-robin", 1)

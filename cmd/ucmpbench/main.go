@@ -3,10 +3,17 @@
 //	ucmpbench -exp all            # everything (scaled configuration)
 //	ucmpbench -exp fig6a,fig6c    # FCT + efficiency for web search
 //	ucmpbench -exp table3 -full   # offline analyses at paper scale
+//	ucmpbench -exp fig9 -parallel # sweep points run concurrently
 //
 // Simulation-based figures run on a scaled-down fabric by default so the
 // full sweep finishes in minutes; -full switches the offline analyses to
-// the paper's 108-ToR fabric and lengthens the simulations.
+// the paper's 108-ToR fabric and lengthens the simulations. -parallel runs
+// an exhibit's independent schemes/sweep points concurrently (bounded by
+// GOMAXPROCS); reports are identical to the serial order. Each exhibit's
+// wall-clock time and simulation event throughput print to stderr.
+//
+// The offline build performance tracked in results/BENCH_seed.json is
+// regenerated with `make bench` (see that file for the recorded baseline).
 package main
 
 import (
@@ -34,11 +41,13 @@ var allExps = []string{
 
 func main() {
 	var (
-		expF  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		fullF = flag.Bool("full", false, "paper-scale offline analyses and longer simulations")
-		seedF = flag.Int64("seed", 1, "seed")
+		expF      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		fullF     = flag.Bool("full", false, "paper-scale offline analyses and longer simulations")
+		seedF     = flag.Int64("seed", 1, "seed")
+		parallelF = flag.Bool("parallel", false, "run independent schemes/sweep points of an exhibit concurrently")
 	)
 	flag.Parse()
+	harness.Parallel = *parallelF
 
 	want := map[string]bool{}
 	if *expF == "all" {
@@ -57,11 +66,18 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		harness.TakeEvents()
 		if err := r.run(e); err != nil {
 			fmt.Fprintf(os.Stderr, "ucmpbench %s: %v\n", e, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n\n", e, time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		if events := harness.TakeEvents(); events > 0 {
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs, %d sim events, %.2fM events/s)\n\n",
+				e, wall, events, float64(events)/wall/1e6)
+		} else {
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n\n", e, wall)
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package core
+
+// arena hands out subslices of large pre-allocated chunks, batching the
+// many small allocations of group extraction (Group, Entry, Path, Hop,
+// hull, threshold slices) into a few big ones. Handed-out slices are capped
+// with three-index slicing, so a caller appending past the requested length
+// reallocates instead of overwriting a neighbor. Chunks are never reused:
+// everything taken stays valid for the lifetime of the objects that
+// reference it.
+type arena[T any] struct {
+	chunk []T
+	size  int // preferred chunk length
+}
+
+// take returns a zeroed slice of length n carved from the current chunk,
+// starting a new chunk when the remainder is too small.
+func (a *arena[T]) take(n int) []T {
+	if cap(a.chunk)-len(a.chunk) < n {
+		c := a.size
+		if c < n {
+			c = n
+		}
+		a.chunk = make([]T, 0, c)
+	}
+	l := len(a.chunk)
+	a.chunk = a.chunk[:l+n]
+	return a.chunk[l : l+n : l+n]
+}
+
+// one returns a pointer to a single zeroed element.
+func (a *arena[T]) one() *T { return &a.take(1)[0] }
+
+// groupArena pools every allocation made while extracting the UCMP groups
+// of one starting slice (one per worker invocation of groupRow).
+type groupArena struct {
+	groups  arena[Group]
+	entries arena[Entry]
+	paths   arena[Path]
+	ptrs    arena[*Path]
+	hops    arena[Hop]
+	ints    arena[int]
+	floats  arena[float64]
+}
+
+// newGroupArena sizes the chunks for a fabric with n ToRs: one chunk of
+// each kind roughly covers a full n² group row at the paper's typical ~3
+// paths and ~2.5 entries per group, so a row costs O(1) chunk allocations.
+func newGroupArena(n int) *groupArena {
+	pairs := n * n
+	return &groupArena{
+		groups:  arena[Group]{size: pairs},
+		entries: arena[Entry]{size: 3 * pairs},
+		paths:   arena[Path]{size: 4 * pairs},
+		ptrs:    arena[*Path]{size: 4 * pairs},
+		hops:    arena[Hop]{size: 8 * pairs},
+		ints:    arena[int]{size: 3 * pairs},
+		floats:  arena[float64]{size: 2 * pairs},
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ucmp/internal/topo"
+)
+
+// TestBuildPathSetParallelDeterminism checks the tentpole invariant of the
+// parallel offline build: any worker count produces exactly the serial
+// result — every group, the global threshold list, and the derived backup
+// statistics — for all three schedule generators.
+func TestBuildPathSetParallelDeterminism(t *testing.T) {
+	for _, kind := range []string{"round-robin", "random", "opera"} {
+		t.Run(kind, func(t *testing.T) {
+			fab := topo.MustFabric(topo.Scaled(), kind, 1)
+			serial := BuildPathSetOpts(fab, 0.5, BuildOptions{Workers: 1})
+			par := BuildPathSetOpts(fab, 0.5, BuildOptions{Workers: 4})
+			n := fab.Sched.N
+			for ts := 0; ts < fab.Sched.S; ts++ {
+				for src := 0; src < n; src++ {
+					for dst := 0; dst < n; dst++ {
+						if src == dst {
+							continue
+						}
+						gs := serial.Group(ts, src, dst)
+						gp := par.Group(ts, src, dst)
+						if !reflect.DeepEqual(gs, gp) {
+							t.Fatalf("group (%d,%d,%d) differs between serial and parallel build:\n%+v\nvs\n%+v",
+								ts, src, dst, gs, gp)
+						}
+					}
+				}
+			}
+			if !reflect.DeepEqual(serial.GlobalThresholds(), par.GlobalThresholds()) {
+				t.Fatalf("global thresholds differ")
+			}
+			sg, sp := serial.SingleSliceShare()
+			pg, pp := par.SingleSliceShare()
+			if sg != pg || sp != pp {
+				t.Fatalf("single-slice share differs: (%v,%v) vs (%v,%v)", sg, sp, pg, pp)
+			}
+		})
+	}
+}
+
+// TestBuildPathSetDefaultMatchesSerial pins the default (GOMAXPROCS) worker
+// count to the serial result too, whatever this machine's core count is.
+func TestBuildPathSetDefaultMatchesSerial(t *testing.T) {
+	fab := topo.MustFabric(topo.Scaled(), "round-robin", 1)
+	serial := BuildPathSetOpts(fab, 0.5, BuildOptions{Workers: 1})
+	def := BuildPathSet(fab, 0.5)
+	if !reflect.DeepEqual(serial.GlobalThresholds(), def.GlobalThresholds()) {
+		t.Fatalf("default build thresholds differ from serial")
+	}
+	for ts := 0; ts < fab.Sched.S; ts++ {
+		for src := 0; src < fab.Sched.N; src++ {
+			for dst := 0; dst < fab.Sched.N; dst++ {
+				if src == dst {
+					continue
+				}
+				if !reflect.DeepEqual(serial.Group(ts, src, dst), def.Group(ts, src, dst)) {
+					t.Fatalf("group (%d,%d,%d) differs", ts, src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeIntoReuseMatchesFresh runs the DP over all starting slices on
+// one reused scratch and checks each level against a freshly allocated
+// computation: scratch reuse must never leak state from a previous slice.
+// The comparison is field-wise — tie lists are compared by content (a reused
+// empty list and a fresh nil list are both "no ties"), and hLast/cyc only
+// where a path exists, since they are meaningless on -1 entries.
+func TestComputeIntoReuseMatchesFresh(t *testing.T) {
+	fab := topo.MustFabric(topo.Scaled(), "random", 3)
+	calc := NewCalculator(fab)
+	var scratch *Tables
+	for ts := 0; ts < fab.Sched.S; ts++ {
+		scratch = calc.ComputeInto(ts, scratch)
+		fresh := calc.Compute(ts)
+		for h := 1; h <= calc.HMax; h++ {
+			for idx := range fresh.end[h] {
+				if scratch.end[h][idx] != fresh.end[h][idx] {
+					t.Fatalf("ts=%d h=%d idx=%d: end %d (reused) vs %d (fresh)",
+						ts, h, idx, scratch.end[h][idx], fresh.end[h][idx])
+				}
+				if fresh.end[h][idx] < 0 {
+					continue
+				}
+				if scratch.last[h][idx] != fresh.last[h][idx] {
+					t.Fatalf("ts=%d h=%d idx=%d: last differs", ts, h, idx)
+				}
+				if scratch.hLast[h][idx] != fresh.hLast[h][idx] {
+					t.Fatalf("ts=%d h=%d idx=%d: hLast differs", ts, h, idx)
+				}
+				if scratch.cyc[h][idx] != fresh.cyc[h][idx] {
+					t.Fatalf("ts=%d h=%d idx=%d: cyc differs", ts, h, idx)
+				}
+				a, b := scratch.par[h][idx], fresh.par[h][idx]
+				if len(a) != len(b) {
+					t.Fatalf("ts=%d h=%d idx=%d: ties %v (reused) vs %v (fresh)", ts, h, idx, a, b)
+				}
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("ts=%d h=%d idx=%d: ties %v vs %v", ts, h, idx, a, b)
+					}
+				}
+			}
+		}
+	}
+}

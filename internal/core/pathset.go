@@ -1,7 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ucmp/internal/topo"
 )
@@ -17,19 +20,39 @@ type PathSet struct {
 	groups [][]*Group // [t_start][src*N+dst]
 }
 
+// BuildOptions tunes the offline build. The zero value picks the defaults.
+type BuildOptions struct {
+	// MaxParallel caps the tied (parallel) solutions retained per hop count
+	// (0 keeps the calculator default of 4; 1 disables ECMP-style tie
+	// spreading — an ablation knob).
+	MaxParallel int
+	// Workers bounds the pool computing starting slices concurrently.
+	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial build. The output
+	// is identical for every worker count: slices are independent DP
+	// problems and each worker writes only the rows it claimed.
+	Workers int
+}
+
 // BuildPathSet runs offline path calculation for every starting slice of
 // the cycle. alpha is the §5.2 weight factor baked into the cost model.
 func BuildPathSet(f *topo.Fabric, alpha float64) *PathSet {
-	return BuildPathSetWith(f, alpha, 0)
+	return BuildPathSetOpts(f, alpha, BuildOptions{})
 }
 
 // BuildPathSetWith is BuildPathSet with a custom cap on retained parallel
-// solutions per hop count (0 keeps the default; 1 disables ECMP-style tie
-// spreading — an ablation knob).
+// solutions per hop count.
 func BuildPathSetWith(f *topo.Fabric, alpha float64, maxParallel int) *PathSet {
+	return BuildPathSetOpts(f, alpha, BuildOptions{MaxParallel: maxParallel})
+}
+
+// BuildPathSetOpts is the fully configurable build (§4, Alg. 1, run for all
+// S starting slices). Starting slices are distributed over a bounded worker
+// pool; each worker reuses one scratch Tables across the slices it claims,
+// so the build performs O(workers) — not O(S) — table allocations.
+func BuildPathSetOpts(f *topo.Fabric, alpha float64, opt BuildOptions) *PathSet {
 	calc := NewCalculator(f)
-	if maxParallel > 0 {
-		calc.MaxParallel = maxParallel
+	if opt.MaxParallel > 0 {
+		calc.MaxParallel = opt.MaxParallel
 	}
 	ps := &PathSet{
 		F:    f,
@@ -40,22 +63,63 @@ func BuildPathSetWith(f *topo.Fabric, alpha float64, maxParallel int) *PathSet {
 			SliceMicros: f.SliceDuration.Micros(),
 		},
 	}
-	n := f.Sched.N
-	ps.groups = make([][]*Group, f.Sched.S)
-	for ts := 0; ts < f.Sched.S; ts++ {
-		t := calc.Compute(ts)
-		row := make([]*Group, n*n)
-		for src := 0; src < n; src++ {
-			for dst := 0; dst < n; dst++ {
-				if src == dst {
-					continue
-				}
-				row[src*n+dst] = calc.Group(t, src, dst, ps.Model)
-			}
-		}
-		ps.groups[ts] = row
+	s := f.Sched.S
+	ps.groups = make([][]*Group, s)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > s {
+		workers = s
+	}
+	if workers <= 1 {
+		var scratch *Tables
+		for ts := 0; ts < s; ts++ {
+			scratch = calc.ComputeInto(ts, scratch)
+			ps.groups[ts] = calc.groupRow(scratch, ps.Model)
+		}
+		return ps
+	}
+	// Workers claim starting slices off a shared counter and write into
+	// their preassigned groups[ts] rows: the result is byte-identical to
+	// the serial build regardless of goroutine scheduling.
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch *Tables
+			for {
+				ts := int(next.Add(1))
+				if ts >= s {
+					return
+				}
+				scratch = calc.ComputeInto(ts, scratch)
+				ps.groups[ts] = calc.groupRow(scratch, ps.Model)
+			}
+		}()
+	}
+	wg.Wait()
 	return ps
+}
+
+// groupRow extracts every pair's group for one starting slice, detaching
+// all paths and thresholds from the (reusable) DP scratch.
+func (c *Calculator) groupRow(t *Tables, m CostModel) []*Group {
+	n := t.N
+	row := make([]*Group, n*n)
+	a := newGroupArena(n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			row[src*n+dst] = c.groupInto(a, t, src, dst, m)
+		}
+	}
+	return row
 }
 
 // Group returns the UCMP group for a cyclic starting slice and ToR pair.
@@ -72,8 +136,18 @@ func (ps *PathSet) SetAlpha(alpha float64) { ps.Model.Alpha = alpha }
 // every UCMP group (§6.1): the globally recognizable stepping thresholds
 // for flow aging. Values within one slice-duration quantum are merged.
 func (ps *PathSet) GlobalThresholds() []float64 {
-	seen := make(map[int64]struct{})
-	var out []float64
+	// Pre-size from the exact total threshold count (a cheap counting pass)
+	// so neither the dedup map nor the output slice rehashes/regrows.
+	total := 0
+	for _, row := range ps.groups {
+		for _, g := range row {
+			if g != nil {
+				total += len(g.thrFree)
+			}
+		}
+	}
+	seen := make(map[int64]struct{}, total)
+	out := make([]float64, 0, total)
 	for _, row := range ps.groups {
 		for _, g := range row {
 			if g == nil {

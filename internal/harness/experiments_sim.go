@@ -35,10 +35,13 @@ type SchemeResult struct {
 	Result *Result
 }
 
-// RunSchemes executes one run per scheme over a base config.
+// RunSchemes executes one run per scheme over a base config. Schemes are
+// independent simulations; with Parallel set they run concurrently, each
+// filling its preassigned result slot.
 func RunSchemes(base SimConfig, schemes []Scheme) ([]SchemeResult, error) {
-	var out []SchemeResult
-	for _, sc := range schemes {
+	out := make([]SchemeResult, len(schemes))
+	err := forEach(len(schemes), func(i int) error {
+		sc := schemes[i]
 		cfg := base
 		cfg.Routing = sc.Routing
 		cfg.Transport = sc.Transport
@@ -46,9 +49,13 @@ func RunSchemes(base SimConfig, schemes []Scheme) ([]SchemeResult, error) {
 		cfg.ScheduleKind = ScheduleFor(sc.Routing)
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SchemeResult{Scheme: sc, Result: res})
+		out[i] = SchemeResult{Scheme: sc, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -153,19 +160,25 @@ func Fig8Bucketing(base SimConfig) (*Report, [2]*Result, error) {
 	base.Workload = "websearch"
 	base.Routing = UCMP
 	base.Transport = transport.DCTCP
+	variants := []bool{true, false}
 	var out [2]*Result
-	r := &Report{Title: "Fig 8: accurate flow size vs flow bucketing (UCMP+DCTCP, web search)"}
-	r.Addf("%-18s %-10s %-10s %-10s %-10s %-8s", "variant", "<=10KB", "<=100KB", "<=1MB", ">1MB", "p99")
-	for i, accurate := range []bool{true, false} {
+	if err := forEach(len(variants), func(i int) error {
 		cfg := base
-		cfg.AccurateFlowSize = accurate
+		cfg.AccurateFlowSize = variants[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, out, err
+			return err
 		}
 		out[i] = res
+		return nil
+	}); err != nil {
+		return nil, out, err
+	}
+	r := &Report{Title: "Fig 8: accurate flow size vs flow bucketing (UCMP+DCTCP, web search)"}
+	r.Addf("%-18s %-10s %-10s %-10s %-10s %-8s", "variant", "<=10KB", "<=100KB", "<=1MB", ">1MB", "p99")
+	for i, res := range out {
 		name := "flow bucketing"
-		if accurate {
+		if variants[i] {
 			name = "accurate size"
 		}
 		bins := coarseBins(res.Collector)
@@ -181,20 +194,26 @@ func Fig9Reconf(base SimConfig, delays []sim.Time) (*Report, []*Result, error) {
 	base.Workload = "websearch"
 	base.Routing = UCMP
 	base.Transport = transport.DCTCP
-	r := &Report{Title: "Fig 9: FCT under reconfiguration delays (UCMP+DCTCP)"}
-	r.Addf("%-10s %-10s %-10s %-10s %-10s %-10s", "reconf", "duty", "<=10KB", "<=100KB", "<=1MB", ">1MB")
-	var out []*Result
-	for _, d := range delays {
+	out := make([]*Result, len(delays))
+	if err := forEach(len(delays), func(i int) error {
 		cfg := base
-		cfg.Topo.ReconfDelay = d
+		cfg.Topo.ReconfDelay = delays[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 9: FCT under reconfiguration delays (UCMP+DCTCP)"}
+	r.Addf("%-10s %-10s %-10s %-10s %-10s %-10s", "reconf", "duty", "<=10KB", "<=100KB", "<=1MB", ">1MB")
+	for _, res := range out {
 		bins := coarseBins(res.Collector)
 		r.Addf("%-10s %-10.3f %-10s %-10s %-10s %-10s",
-			d, cfg.Topo.DutyCycle(), fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]))
+			res.Config.Topo.ReconfDelay, res.Config.Topo.DutyCycle(),
+			fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]))
 	}
 	return r, out, nil
 }
@@ -207,21 +226,26 @@ func Fig10Alpha(base SimConfig, alphas []float64) (*Report, []*Result, error) {
 	if base.SampleEvery == 0 {
 		base.SampleEvery = 500 * sim.Microsecond
 	}
-	r := &Report{Title: "Fig 10: weight factor alpha (UCMP+DCTCP, web search)"}
-	r.Addf("%-7s %-14s %-12s %-10s %-10s %-10s", "alpha", "ToR-ToR util", "efficiency", "<=10KB", "<=100KB", ">1MB")
-	var out []*Result
-	for _, a := range alphas {
+	out := make([]*Result, len(alphas))
+	if err := forEach(len(alphas), func(i int) error {
 		cfg := base
-		cfg.Alpha = a
+		cfg.Alpha = alphas[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 10: weight factor alpha (UCMP+DCTCP, web search)"}
+	r.Addf("%-7s %-14s %-12s %-10s %-10s %-10s", "alpha", "ToR-ToR util", "efficiency", "<=10KB", "<=100KB", ">1MB")
+	for _, res := range out {
 		bins := coarseBins(res.Collector)
 		util := res.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil })
 		r.Addf("%-7.2f %-14.3f %-12.3f %-10s %-10s %-10s",
-			a, util, res.Efficiency, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]))
+			res.Config.Alpha, util, res.Efficiency, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]))
 	}
 	r.Addf("(larger alpha -> shorter paths -> lower core utilization, Fig 10a)")
 	return r, out, nil
@@ -232,20 +256,26 @@ func Fig11Slice(base SimConfig, durs []sim.Time) (*Report, []*Result, error) {
 	base.Workload = "websearch"
 	base.Routing = UCMP
 	base.Transport = transport.DCTCP
-	r := &Report{Title: "Fig 11: time slice duration (UCMP+DCTCP, web search)"}
-	r.Addf("%-10s %-12s %-10s %-10s %-10s %-8s", "slice", "efficiency", "<=10KB", "<=100KB", ">1MB", "reroute")
-	var out []*Result
-	for _, u := range durs {
+	out := make([]*Result, len(durs))
+	if err := forEach(len(durs), func(i int) error {
 		cfg := base
-		cfg.Topo.SliceDuration = u
+		cfg.Topo.SliceDuration = durs[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 11: time slice duration (UCMP+DCTCP, web search)"}
+	r.Addf("%-10s %-12s %-10s %-10s %-10s %-8s", "slice", "efficiency", "<=10KB", "<=100KB", ">1MB", "reroute")
+	for _, res := range out {
 		bins := coarseBins(res.Collector)
 		r.Addf("%-10s %-12.3f %-10s %-10s %-10s %-8.4f",
-			u, res.Efficiency, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]), res.ReroutedFrac)
+			res.Config.Topo.SliceDuration, res.Efficiency,
+			fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[3]), res.ReroutedFrac)
 	}
 	return r, out, nil
 }
@@ -255,20 +285,26 @@ func Fig12d(base SimConfig, fracs []float64) (*Report, []*Result, error) {
 	base.Workload = "websearch"
 	base.Routing = UCMP
 	base.Transport = transport.DCTCP
-	r := &Report{Title: "Fig 12d: FCT under faulty links (UCMP+DCTCP, web search)"}
-	r.Addf("%-8s %-10s %-10s %-10s %-10s %-9s", "faulty", "<=10KB", "<=100KB", "<=1MB", ">1MB", "complete")
-	var out []*Result
-	for _, fr := range fracs {
+	out := make([]*Result, len(fracs))
+	if err := forEach(len(fracs), func(i int) error {
 		cfg := base
-		cfg.LinkFailFrac = fr
+		cfg.LinkFailFrac = fracs[i]
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		out = append(out, res)
+		out[i] = res
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	r := &Report{Title: "Fig 12d: FCT under faulty links (UCMP+DCTCP, web search)"}
+	r.Addf("%-8s %-10s %-10s %-10s %-10s %-9s", "faulty", "<=10KB", "<=100KB", "<=1MB", ">1MB", "complete")
+	for _, res := range out {
 		bins := coarseBins(res.Collector)
 		r.Addf("%-8.2f %-10s %-10s %-10s %-10s %-9.2f",
-			fr, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]), res.CompletionRate)
+			res.Config.LinkFailFrac, fmtT(bins[0]), fmtT(bins[1]), fmtT(bins[2]), fmtT(bins[3]),
+			res.CompletionRate)
 	}
 	return r, out, nil
 }

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel enables concurrent execution of independent runs inside the
+// experiment drivers (one scheme or sweep point per goroutine, bounded by
+// GOMAXPROCS). Each run builds its own fabric, path set, engine and
+// collector, so runs share no mutable state; results land in preassigned
+// slots and reports are rendered only after every run finishes, making the
+// output byte-identical to the serial order. Off by default — cmd/ucmpbench
+// flips it with -parallel.
+var Parallel = false
+
+// forEach invokes fn(0..n-1), concurrently when Parallel is set. Every index
+// runs even if an earlier one fails (errors land in per-index slots); the
+// error reported is the one from the lowest index, matching what a serial
+// fail-fast loop would surface.
+func forEach(n int, fn func(i int) error) error {
+	if !Parallel || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eventsProcessed accumulates simulation events across every Run since the
+// last TakeEvents, for throughput reporting (events/sec per exhibit).
+var eventsProcessed atomic.Uint64
+
+// TakeEvents returns the number of simulation events processed since the
+// previous call and resets the counter.
+func TakeEvents() uint64 { return eventsProcessed.Swap(0) }

@@ -108,6 +108,9 @@ type Result struct {
 	ReroutedFrac   float64
 	CompletionRate float64
 	Launched       int
+	// Events is the number of discrete events the engine executed for this
+	// run (throughput denominator for events/sec reporting).
+	Events uint64
 	// JainCumulative is the whole-run Jain fairness over per-uplink-port
 	// bytes (Fig 15).
 	JainCumulative float64
@@ -232,6 +235,7 @@ func Run(cfg SimConfig) (*Result, error) {
 		col.StartSampling(net, cfg.SampleEvery, horizon)
 	}
 	eng.Run(horizon)
+	eventsProcessed.Add(eng.Processed())
 
 	return &Result{
 		Config:         cfg,
@@ -241,6 +245,7 @@ func Run(cfg SimConfig) (*Result, error) {
 		ReroutedFrac:   net.ReroutedFraction(),
 		CompletionRate: col.CompletionRate(),
 		Launched:       len(flows),
+		Events:         eng.Processed(),
 		JainCumulative: net.JainCumulative(),
 		Flows:          net.Flows(),
 	}, nil

@@ -177,3 +177,54 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.RunAll()
 	}
 }
+
+// TestEnginePushDuringPopStress interleaves heavy same-instant scheduling
+// with callbacks that schedule more work while the heap is being drained —
+// the access pattern the hand-rolled sift-up/sift-down must survive. The
+// observed execution order is checked against the (at, seq) contract: times
+// never decrease, and within one instant events fire in scheduling order.
+func TestEnginePushDuringPopStress(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(42))
+	type obs struct {
+		at  Time
+		tag int
+	}
+	var fired []obs
+	tag := 0
+	var spawn func(at Time, depth int)
+	spawn = func(at Time, depth int) {
+		tag++
+		myTag := tag
+		myAt := at
+		e.At(myAt, func() {
+			fired = append(fired, obs{myAt, myTag})
+			if depth > 0 {
+				// Re-schedule from inside the pop loop: same instant, a
+				// random near future, and a clustered far slot.
+				spawn(e.Now(), depth-1)
+				spawn(e.Now()+Time(rng.Intn(5)), depth-1)
+				spawn(e.Now()+50, depth-1)
+			}
+		})
+	}
+	for i := 0; i < 200; i++ {
+		spawn(Time(rng.Intn(20)), 2)
+	}
+	e.RunAll()
+	if len(fired) == 0 || uint64(len(fired)) != e.Processed() {
+		t.Fatalf("fired=%d processed=%d", len(fired), e.Processed())
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("time went backwards at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+		if fired[i].at == fired[i-1].at && fired[i].tag < fired[i-1].tag {
+			t.Fatalf("FIFO violated at %d: tag %d after %d at %v",
+				i, fired[i].tag, fired[i-1].tag, fired[i].at)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending=%d after RunAll", e.Pending())
+	}
+}

@@ -18,7 +18,21 @@ type Schedule struct {
 	slices [][]Matching // [S][D] matching per slice per switch
 	reconf [][]bool     // [S][D] true if switch reconfigures entering slice s
 	direct [][]int32    // [N*N] cyclic slices in which pair (i,j) has a circuit
+
+	// next is the dense next-direct table: next[(i*N+j)*S + s] is the
+	// earliest cyclic slice >= s with a direct (i,j) circuit, wrapped past S
+	// (value in [s, s+S)) so lookups need no branch on cycle boundaries; -1
+	// marks a never-connected pair. It turns the NextDirect scan — the
+	// innermost operation of the offline DP — into one indexed load. nil
+	// when the schedule is too large for the memory budget, in which case
+	// NextDirect binary-searches the sorted per-pair direct list instead.
+	next []int32
 }
+
+// maxDenseNextEntries caps the dense next-direct table at 32 MB (4 bytes per
+// entry). Beyond that — S·N² grows cubically with N for fixed d — NextDirect
+// falls back to an O(log D) binary search.
+const maxDenseNextEntries = 1 << 23
 
 // RoundRobin builds the fully reconfigurable schedule used by UCMP, VLB and
 // KSP in the paper (§7.1): the N-1 matchings of a one-factorization are
@@ -115,6 +129,37 @@ func (s *Schedule) build(mat func(slice, sw int) Matching, rec func(slice, sw in
 			}
 		}
 	}
+	s.buildNextTable()
+}
+
+// buildNextTable densifies the per-pair direct lists into the next-direct
+// lookup table, walking each pair's sorted list once (O(S) per pair).
+func (s *Schedule) buildNextTable() {
+	if s.N*s.N*s.S > maxDenseNextEntries {
+		return
+	}
+	s.next = make([]int32, s.N*s.N*s.S)
+	for pair, ds := range s.direct {
+		row := s.next[pair*s.S : (pair+1)*s.S]
+		if len(ds) == 0 {
+			for i := range row {
+				row[i] = -1
+			}
+			continue
+		}
+		// p tracks the smallest index with ds[p] >= sl while sl descends.
+		p := len(ds)
+		for sl := s.S - 1; sl >= 0; sl-- {
+			for p > 0 && ds[p-1] >= int32(sl) {
+				p--
+			}
+			if p < len(ds) {
+				row[sl] = ds[p]
+			} else {
+				row[sl] = ds[0] + int32(s.S)
+			}
+		}
+	}
 }
 
 // MatchingAt returns the matching realized by switch sw during cyclic slice.
@@ -165,25 +210,56 @@ func (s *Schedule) DirectSlices(a, b int) []int32 { return s.direct[a*s.N+b] }
 
 // NextDirect returns the earliest absolute slice >= from in which a and b
 // have a direct circuit. Every pair is connected at least once per cycle for
-// the provided generators, so this always succeeds.
+// the provided generators, so this always succeeds. O(1) via the dense
+// next-direct table; O(log D) binary search over the pair's sorted direct
+// list when the table exceeded its memory budget.
 func (s *Schedule) NextDirect(a, b int, from int64) int64 {
+	cyc := from % int64(s.S)
+	base := from - cyc
+	if s.next != nil {
+		nx := s.next[(a*s.N+b)*s.S+int(cyc)]
+		if nx < 0 {
+			panic(fmt.Sprintf("topo: pair (%d,%d) never connected", a, b))
+		}
+		return base + int64(nx)
+	}
 	ds := s.direct[a*s.N+b]
 	if len(ds) == 0 {
 		panic(fmt.Sprintf("topo: pair (%d,%d) never connected", a, b))
 	}
-	cyc := int32(from % int64(s.S))
-	base := from - int64(cyc)
 	// ds is sorted ascending; find first >= cyc, else wrap to next cycle.
-	for _, d := range ds {
-		if d >= cyc {
-			return base + int64(d)
+	lo, hi := 0, len(ds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int64(ds[mid]) < cyc {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(ds) {
+		return base + int64(ds[lo])
 	}
 	return base + int64(s.S) + int64(ds[0])
 }
 
+// DenseNext exposes the dense next-direct table for hot loops that index it
+// directly instead of paying a call + modulo per lookup (the offline DP).
+// Entry (a*N+b)*S + s is the earliest cyclic slice >= s with a direct (a,b)
+// circuit, wrapped past S (value in [s, s+S)), or -1 for a never-connected
+// pair. Returns nil when the schedule exceeded the dense-table memory
+// budget; callers must then fall back to NextDirect. Read-only.
+func (s *Schedule) DenseNext() []int32 { return s.next }
+
 // WaitSlices returns how many slices after `from` the next direct circuit
-// between a and b appears (0 = this very slice).
+// between a and b appears (0 = this very slice). The dense table stores the
+// wrapped next slice, so the wait is a single subtraction.
 func (s *Schedule) WaitSlices(a, b int, from int64) int64 {
+	cyc := from % int64(s.S)
+	if s.next != nil {
+		if nx := s.next[(a*s.N+b)*s.S+int(cyc)]; nx >= 0 {
+			return int64(nx) - cyc
+		}
+	}
 	return s.NextDirect(a, b, from) - from
 }
