@@ -1,11 +1,12 @@
 # Standard checks for the UCMP reproduction. `make check` is what CI (and a
 # pre-commit run) should execute: vet, build, the full test suite, and the
 # race detector over the packages with intentional concurrency (the parallel
-# offline build in internal/core and the engine in internal/sim).
+# offline build in internal/core, the engine in internal/sim, and the
+# parallel trial runner in internal/harness).
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-offline bench-netsim
 
 check: vet build test race
 
@@ -20,7 +21,21 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount' ./internal/harness
 
-# bench reproduces the numbers tracked in results/BENCH_seed.json.
-bench:
+# bench regenerates the numbers tracked in results/BENCH_*.json: the offline
+# path-set build (results/BENCH_seed.json) and the netsim packet-path
+# benchmarks (results/BENCH_pr2.json). bench-netsim pipes through
+# cmd/benchjson, which emits the BENCH_*.json record format on stdout while
+# echoing the raw `go test` lines on stderr, so
+#
+#	make -s bench-netsim > results/BENCH_new.json
+#
+# refreshes the tracked record in place.
+bench: bench-offline bench-netsim
+
+bench-offline:
 	$(GO) test -run '^$$' -bench 'BenchmarkOffline_PathSetBuild' -benchmem -benchtime 200x .
+
+bench-netsim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$' -benchmem ./internal/netsim | $(GO) run ./cmd/benchjson

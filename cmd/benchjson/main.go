@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// record format tracked under results/BENCH_*.json, so refreshed numbers
+// can be committed without hand-editing:
+//
+//	make -s bench-netsim > results/BENCH_new.json
+//
+// The raw `go test` lines are echoed to stderr as they stream through, so
+// piping does not hide the benchmark run. Standard ns/op, B/op and
+// allocs/op columns map to fixed fields; any custom metrics (events/s,
+// buckets, ...) land in the per-benchmark "metrics" object.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Benchmark   string             `json:"benchmark"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Environment string   `json:"environment"`
+	Method      string   `json:"method"`
+	Benchmarks  []record `json:"benchmarks"`
+}
+
+// procSuffix is the -GOMAXPROCS suffix `go test` appends to benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	method := flag.String("method", "go test -bench via make bench (see Makefile)",
+		"provenance string recorded in the output")
+	flag.Parse()
+
+	rep := report{Method: *method}
+	var env []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			env = append(env, strings.TrimSpace(line))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Environment = strings.Join(env, ", ")
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseBench decodes one result line: a name, an iteration count, then
+// "value unit" pairs (ns/op, then -benchmem and ReportMetric columns).
+func parseBench(line string) (record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Benchmark: procSuffix.ReplaceAllString(f[0], ""), Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}

@@ -9,17 +9,28 @@
 // full sweep finishes in minutes; -full switches the offline analyses to
 // the paper's 108-ToR fabric and lengthens the simulations. -parallel runs
 // an exhibit's independent schemes/sweep points concurrently (bounded by
-// GOMAXPROCS); reports are identical to the serial order. Each exhibit's
-// wall-clock time and simulation event throughput print to stderr.
+// -workers, default GOMAXPROCS); reports are identical to the serial order.
+// Each exhibit's wall-clock time and simulation event throughput print to
+// stderr.
+//
+// Profiling: -cpuprofile and -memprofile write pprof files covering the
+// selected exhibits, for chasing simulator hot spots:
+//
+//	ucmpbench -exp fig6a -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 //
 // The offline build performance tracked in results/BENCH_seed.json is
-// regenerated with `make bench` (see that file for the recorded baseline).
+// regenerated with `make bench` (see that file for the recorded baseline);
+// the online simulator numbers in results/BENCH_pr2.json come from the
+// netsim benchmarks (`make bench` runs both).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +47,7 @@ var allExps = []string{
 	"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7", "fig8", "fig9", "fig10", "fig11",
 	"fig12", "fig12d", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ablation", "extension",
+	"ablation", "extension", "sweep",
 }
 
 func main() {
@@ -45,9 +56,43 @@ func main() {
 		fullF     = flag.Bool("full", false, "paper-scale offline analyses and longer simulations")
 		seedF     = flag.Int64("seed", 1, "seed")
 		parallelF = flag.Bool("parallel", false, "run independent schemes/sweep points of an exhibit concurrently")
+		workersF  = flag.Int("workers", 0, "bound on the -parallel worker pool (0 = GOMAXPROCS)")
+		cpuProfF  = flag.String("cpuprofile", "", "write a CPU profile covering the selected exhibits to this file")
+		memProfF  = flag.String("memprofile", "", "write a heap profile taken after the selected exhibits to this file")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
+	harness.Workers = *workersF
+
+	if *cpuProfF != "" {
+		f, err := os.Create(*cpuProfF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucmpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ucmpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfF != "" {
+		defer func() {
+			f, err := os.Create(*memProfF)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ucmpbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ucmpbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	if *expF == "all" {
@@ -255,6 +300,16 @@ func (r *runner) run(exp string) error {
 			return err
 		}
 		fmt.Println(rep3)
+	case "sweep":
+		trials := harness.SweepLoad(r.simBase(),
+			[]harness.RoutingKind{harness.UCMP, harness.VLB, harness.KSP5},
+			[]float64{0.2, 0.4, 0.6})
+		results, err := harness.RunTrials(trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("sweep: scheme x load trial matrix (harness.RunTrials; -parallel fans trials out)")
+		fmt.Print(harness.SummarizeTrials(trials, results))
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

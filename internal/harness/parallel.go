@@ -15,6 +15,22 @@ import (
 // flips it with -parallel.
 var Parallel = false
 
+// Workers bounds the worker pool used when Parallel is set. Zero (the
+// default) means GOMAXPROCS. cmd/ucmpbench exposes it as -workers.
+var Workers = 0
+
+// workerCount resolves the pool size for n independent units of work.
+func workerCount(n int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // forEach invokes fn(0..n-1), concurrently when Parallel is set. Every index
 // runs even if an earlier one fails (errors land in per-index slots); the
 // error reported is the one from the lowest index, matching what a serial
@@ -28,10 +44,7 @@ func forEach(n int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := workerCount(n)
 	errs := make([]error, n)
 	var next atomic.Int64
 	next.Store(-1)

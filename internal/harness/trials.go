@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trial is one fully-specified simulation run inside a trial matrix — a
+// (scheme, load point) pair with its own derived seed. Trials share no
+// mutable state: each Run builds its own fabric, engine, network and
+// collector, which is what makes the fan-out below safe.
+type Trial struct {
+	Name string
+	Cfg  SimConfig
+}
+
+// seedStride separates the derived seeds of consecutive trials so their
+// workload RNG streams do not overlap for any realistic flow count.
+const seedStride = 1_000_003
+
+// SweepLoad builds the scheme × load trial matrix with deterministic derived
+// seeds: trial i uses base.Seed + i*seedStride regardless of execution
+// order, so serial and parallel executions simulate identical workloads.
+func SweepLoad(base SimConfig, schemes []RoutingKind, loads []float64) []Trial {
+	trials := make([]Trial, 0, len(schemes)*len(loads))
+	for _, s := range schemes {
+		for _, l := range loads {
+			cfg := base
+			cfg.Routing = s
+			cfg.ScheduleKind = "" // derive from the scheme
+			cfg.Load = l
+			cfg.Seed = base.Seed + int64(len(trials))*seedStride
+			trials = append(trials, Trial{
+				Name: fmt.Sprintf("%s/load=%.2f", s, l),
+				Cfg:  cfg,
+			})
+		}
+	}
+	return trials
+}
+
+// RunTrials executes the trials — serially, or over the bounded worker pool
+// when Parallel is set — and returns results in input order. Because every
+// result lands in its preassigned slot and aggregation happens only after
+// all trials finish, anything rendered from the returned slice is
+// byte-identical between serial and parallel execution (pinned by
+// TestTrialReplicationDeterminism).
+func RunTrials(trials []Trial) ([]*Result, error) {
+	out := make([]*Result, len(trials))
+	err := forEach(len(trials), func(i int) error {
+		r, err := Run(trials[i].Cfg)
+		if err != nil {
+			return fmt.Errorf("trial %s: %w", trials[i].Name, err)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SummarizeTrials renders one line per trial with the aggregates the sweep
+// reports; it is the canonical aggregated output the determinism contract is
+// defined over.
+func SummarizeTrials(trials []Trial, results []*Result) string {
+	var b strings.Builder
+	for i, r := range results {
+		fmt.Fprintf(&b,
+			"%-24s completion=%.4f eff=%.4f rerouted=%.5f p50=%s p99=%s injected=%d delivered=%d dropped=%d\n",
+			trials[i].Name,
+			r.CompletionRate,
+			r.Efficiency,
+			r.ReroutedFrac,
+			r.Collector.Percentile(0.50),
+			r.Collector.Percentile(0.99),
+			r.Counters.DataInjected,
+			r.Counters.DataDelivered,
+			r.Counters.DataDropped,
+		)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/transport"
+)
+
+func sweepForTest() (SimConfig, []Trial) {
+	base := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	base.Duration = sim.Millisecond
+	base.Seed = 7
+	return base, SweepLoad(base, []RoutingKind{UCMP, VLB}, []float64{0.1, 0.3})
+}
+
+// The determinism contract of the trial runner: the aggregated output of a
+// parallel execution is byte-identical to the serial one.
+func TestTrialReplicationDeterminism(t *testing.T) {
+	_, trials := sweepForTest()
+	runWith := func(par bool, workers int) string {
+		oldP, oldW := Parallel, Workers
+		Parallel, Workers = par, workers
+		defer func() { Parallel, Workers = oldP, oldW }()
+		res, err := RunTrials(trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SummarizeTrials(trials, res)
+	}
+	serial := runWith(false, 0)
+	parallel := runWith(true, 3)
+	if serial != parallel {
+		t.Fatalf("parallel trial output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "ucmp/load=0.10") || !strings.Contains(serial, "vlb/load=0.30") {
+		t.Fatalf("summary missing expected trials:\n%s", serial)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(serial), "\n") {
+		if strings.Contains(line, "completion=0.0000") {
+			t.Fatalf("trial completed no flows: %s", line)
+		}
+	}
+}
+
+// Derived seeds depend only on the trial's index, never on execution order,
+// and never collide within a sweep.
+func TestSweepLoadSeeds(t *testing.T) {
+	base, trials := sweepForTest()
+	seen := map[int64]string{}
+	for i, tr := range trials {
+		want := base.Seed + int64(i)*seedStride
+		if tr.Cfg.Seed != want {
+			t.Fatalf("trial %d (%s) seed %d, want %d", i, tr.Name, tr.Cfg.Seed, want)
+		}
+		if prev, dup := seen[tr.Cfg.Seed]; dup {
+			t.Fatalf("seed %d shared by %s and %s", tr.Cfg.Seed, prev, tr.Name)
+		}
+		seen[tr.Cfg.Seed] = tr.Name
+	}
+	if len(trials) != 4 {
+		t.Fatalf("expected 2 schemes x 2 loads = 4 trials, got %d", len(trials))
+	}
+}
+
+// The pool honors the Workers bound and still covers every index.
+func TestWorkerCount(t *testing.T) {
+	oldW := Workers
+	defer func() { Workers = oldW }()
+	Workers = 2
+	if got := workerCount(8); got != 2 {
+		t.Fatalf("workerCount(8) with Workers=2: %d", got)
+	}
+	if got := workerCount(1); got != 1 {
+		t.Fatalf("workerCount(1): %d", got)
+	}
+	Workers = 0
+	if got := workerCount(1); got != 1 {
+		t.Fatalf("workerCount(1) unbounded: %d", got)
+	}
+}

@@ -1,0 +1,88 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/routing"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+// The two benchmarks below are the per-packet hot-path exhibits tracked in
+// results/BENCH_pr2.json: a single-uplink saturation run (one bulk flow
+// crossing one ToR-to-ToR port) and an 8-ToR incast (every other host
+// sending to host 0, saturating one downlink). Both report allocs/op over a
+// whole simulation run and sim events/sec, the numbers the packet arena and
+// map-free dispatch are meant to move. Fabric, path set, and router are
+// built once and shared: routers are read-only at plan time, so the loop
+// body measures only the online simulator.
+
+type benchEnv struct {
+	fab    *topo.Fabric
+	router *routing.UCMP
+}
+
+func newBenchEnv(cfg topo.Config) *benchEnv {
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	return &benchEnv{fab: fab, router: routing.NewUCMP(core.BuildPathSet(fab, 0.5))}
+}
+
+// runBenchFlows wires a fresh engine+network, launches the flows, and runs
+// to the horizon, failing the benchmark if any flow is left unfinished.
+func (e *benchEnv) runBenchFlows(b *testing.B, flows []*netsim.Flow, horizon sim.Time) uint64 {
+	b.Helper()
+	eng := sim.NewEngine()
+	qs := transport.QueueSpec(transport.DCTCP)
+	net := netsim.New(eng, e.fab, e.router, qs, qs, netsim.DefaultRotor())
+	net.Stamper = e.router.StampBucket
+	net.Start()
+	stack := transport.NewStack(net, transport.DCTCP)
+	for _, f := range flows {
+		stack.Launch(f)
+	}
+	eng.Run(horizon)
+	for _, f := range flows {
+		if !f.Finished {
+			b.Fatalf("flow %d unfinished: %d/%d bytes delivered (drops=%d)",
+				f.ID, f.BytesDelivered, f.Size, net.Counters.DroppedPackets)
+		}
+	}
+	return eng.Processed()
+}
+
+// BenchmarkSaturation drives one 2 MB DCTCP flow between two racks: the
+// classic single-port saturation microbenchmark (every data packet crosses
+// one host NIC, one uplink calendar queue, and one downlink).
+func BenchmarkSaturation(b *testing.B) {
+	env := newBenchEnv(topo.Scaled())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		flows := []*netsim.Flow{netsim.NewFlow(1, 0, 3, 2<<20, 0)}
+		events += env.runBenchFlows(b, flows, 200*sim.Millisecond)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkIncast8ToR is the full-fabric stress: an 8-ToR fabric where
+// every host outside rack 0 sends 128 KB to host 0 concurrently.
+func BenchmarkIncast8ToR(b *testing.B) {
+	cfg := topo.Scaled()
+	cfg.NumToRs = 8
+	env := newBenchEnv(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		var flows []*netsim.Flow
+		for h := cfg.HostsPerToR; h < cfg.NumHosts(); h++ {
+			flows = append(flows, netsim.NewFlow(int64(h), h, 0, 128<<10, 0))
+		}
+		events += env.runBenchFlows(b, flows, 400*sim.Millisecond)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

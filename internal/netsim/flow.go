@@ -35,6 +35,11 @@ type Flow struct {
 	// dispatches arriving packets to one of them by direction.
 	SenderEP   Endpoint
 	ReceiverEP Endpoint
+
+	// dense is the small contiguous index RegisterFlow assigns (position in
+	// registration order). Host NIC fair queueing indexes per-flow state by
+	// it instead of hashing the sparse 64-bit ID. -1 until registered.
+	dense int
 }
 
 // FCT returns the flow completion time, valid once Finished.
@@ -56,6 +61,6 @@ func hashID(id int64, src, dst int) uint64 {
 func NewFlow(id int64, src, dst int, size int64, arrival sim.Time) *Flow {
 	return &Flow{
 		ID: id, SrcHost: src, DstHost: dst, Size: size, Arrival: arrival,
-		Hash: hashID(id, src, dst), FinishedAt: -1,
+		Hash: hashID(id, src, dst), FinishedAt: -1, dense: -1,
 	}
 }

@@ -7,16 +7,23 @@ type Host struct {
 	id   int
 	tor  int
 	port *hostPort
+
+	// recvFn is receive pre-bound for sim.At1, so downlink transmissions
+	// schedule arrivals without a per-packet closure.
+	recvFn func(any)
 }
 
 func newHost(n *Network, id int) *Host {
 	tor := id / n.F.HostsPerToR
-	return &Host{
+	h := &Host{
 		net:  n,
 		id:   id,
 		tor:  tor,
 		port: &hostPort{net: n, tor: tor},
 	}
+	h.port.pumpFn = h.port.pump
+	h.recvFn = func(a any) { h.receive(a.(*Packet)) }
+	return h
 }
 
 // ID returns the global host index.
@@ -28,6 +35,7 @@ func (h *Host) ToR() int { return h.tor }
 // Send injects a packet into the fabric through the host NIC. Addressing
 // fields are filled from the flow.
 func (h *Host) Send(p *Packet) {
+	p.assertLive("Host.Send")
 	f := p.Flow
 	if p.SrcHost == 0 && p.DstHost == 0 && f != nil {
 		// Fill addressing by direction: the sender host emits toward the
@@ -46,25 +54,33 @@ func (h *Host) Send(p *Packet) {
 	}
 	if p.Type == Data {
 		h.net.Counters.DataBytesSent += int64(p.PayloadLen)
+		h.net.Counters.DataInjected++
 	}
 	h.port.enqueue(p)
 }
 
-// receive dispatches an arriving packet to the flow's transport endpoint.
+// receive dispatches an arriving packet to the flow's transport endpoint,
+// then recycles it: endpoints consume packets synchronously inside Deliver
+// and never retain the pointer.
 func (h *Host) receive(p *Packet) {
-	f := p.Flow
-	if f == nil {
-		return
-	}
-	if p.DstHost == f.SrcHost {
-		if f.SenderEP != nil {
-			f.SenderEP.Deliver(p)
+	p.assertLive("Host.receive")
+	if p.Type == Data {
+		if p.Trimmed {
+			h.net.Counters.TrimmedDelivered++
+		} else {
+			h.net.Counters.DataDelivered++
 		}
-		return
 	}
-	if f.ReceiverEP != nil {
-		f.ReceiverEP.Deliver(p)
+	if f := p.Flow; f != nil {
+		if p.DstHost == f.SrcHost {
+			if f.SenderEP != nil {
+				f.SenderEP.Deliver(p)
+			}
+		} else if f.ReceiverEP != nil {
+			f.ReceiverEP.Deliver(p)
+		}
 	}
+	h.net.Release(p)
 }
 
 // TorOf exposes the host's ToR switch (for RotorLB credit checks).

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"ucmp/internal/sim"
 	"ucmp/internal/topo"
@@ -51,6 +52,20 @@ type Counters struct {
 	DroppedPackets     int64
 	RotorDrops         int64
 
+	// Packet-conservation ledger (data packets only, counted per
+	// transmission): everything injected at a host NIC must end exactly
+	// once as delivered in full, delivered as a trimmed header (which the
+	// transport retransmits), or dropped; anything else is still parked in
+	// a queue. The invariant test in conservation_test.go checks
+	//   DataInjected == DataDelivered + TrimmedDelivered + DataDropped
+	//                   + InFlightData()
+	// at quiescence, which would catch packets leaked (or duplicated) by
+	// the pool.
+	DataInjected     int64
+	DataDelivered    int64
+	TrimmedDelivered int64
+	DataDropped      int64
+
 	// Recirculation cause breakdown (§6.3 diagnostics).
 	ExpiredInCalendar int64 // parked past the slice boundary
 	LateArrivals      int64 // reached a ToR after the planned slice
@@ -85,7 +100,13 @@ type Network struct {
 	// slice boundary and recirculate (failure injection, Fig 12).
 	LinkDown func(tor, sw int) bool
 
-	flows map[int64]*Flow
+	// flows maps the sparse flow ID to the flow (duplicate detection and
+	// ID-based lookup); flowList holds the same flows in registration
+	// order, with each flow's dense index being its position here.
+	flows    map[int64]*Flow
+	flowList []*Flow
+
+	pool packetPool
 }
 
 // New wires up a network. Call Start before Run to arm the slice clock.
@@ -127,13 +148,16 @@ func (n *Network) sliceBoundary() {
 }
 
 // RegisterFlow makes the network aware of a flow (needed before any packet
-// of it is sent).
+// of it is sent) and assigns it the next dense index, which the host NICs
+// use for map-free per-flow queue dispatch.
 func (n *Network) RegisterFlow(f *Flow) {
 	if _, dup := n.flows[f.ID]; dup {
 		panic(fmt.Sprintf("netsim: duplicate flow %d", f.ID))
 	}
 	f.RotorClass = n.Router.RotorFlow(f)
+	f.dense = len(n.flowList)
 	n.flows[f.ID] = f
+	n.flowList = append(n.flowList, f)
 }
 
 // RecordDelivered credits newly received distinct payload bytes to a flow
@@ -162,13 +186,61 @@ func (n *Network) FlowFinished(f *Flow) {
 	}
 }
 
-// Flows returns all registered flows.
+// Flows returns all registered flows sorted by ID, so result aggregation
+// built on it (FCT percentiles, trace export) is deterministic and
+// independent of map iteration order.
 func (n *Network) Flows() []*Flow {
-	out := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		out = append(out, f)
-	}
+	out := make([]*Flow, len(n.flowList))
+	copy(out, n.flowList)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// NumFlows returns the number of registered flows (the dense index bound).
+func (n *Network) NumFlows() int { return len(n.flowList) }
+
+// dropPacket records a terminal drop in the conservation ledger and recycles
+// the packet. Every path that abandons a packet must come through here (or
+// through a delivery); otherwise the pool leaks and the conservation test
+// fails.
+func (n *Network) dropPacket(p *Packet) {
+	n.Counters.DroppedPackets++
+	if p.Type == Data {
+		n.Counters.DataDropped++
+	}
+	n.Release(p)
+}
+
+// InFlightData counts the data packets parked in fabric queues (host NICs,
+// ToR ports, calendar queues, RotorLB VOQs). Packets on the wire — inside a
+// scheduled delivery event — are not visible to it, so the count is exact
+// only at quiescence (no pending events), which is when the conservation
+// test reads it.
+func (n *Network) InFlightData() int64 {
+	var c int64
+	for _, h := range n.Hosts {
+		c += int64(h.port.high.dataCount() + h.port.anon.dataCount())
+		for i := range h.port.perFlow {
+			c += int64(h.port.perFlow[i].dataCount())
+		}
+	}
+	for _, t := range n.ToRs {
+		for _, d := range t.down {
+			c += int64(d.queue.countData())
+		}
+		for _, u := range t.up {
+			for i := range u.cal {
+				c += int64(u.cal[i].countData())
+			}
+		}
+		if t.rotor != nil {
+			for i := range t.rotor.local {
+				c += int64(t.rotor.local[i].dataCount())
+				c += int64(t.rotor.nonlocal[i].dataCount())
+			}
+		}
+	}
+	return c
 }
 
 // downRoom reports whether the destination host's downlink queue has room

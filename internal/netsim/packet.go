@@ -92,6 +92,10 @@ type Packet struct {
 
 	// SentAt is when the packet (this transmission) left the host.
 	SentAt sim.Time
+
+	// released marks a packet returned to its Network's pool; the poison
+	// debug mode asserts it never re-enters the fabric (see pool.go).
+	released bool
 }
 
 // MaxReroutes is the recirculation limit of §6.3.

@@ -1,0 +1,86 @@
+package netsim
+
+import "fmt"
+
+// PoisonPackets enables the pool's use-after-release debugging: released
+// packets have their fields overwritten with loud sentinel values, double
+// releases panic, and the fabric entry points assert that a packet handed
+// to them has not been recycled. It is a package-level switch (not
+// per-Network) so tests can flip it without threading configuration through
+// every constructor; it must not be toggled while simulations run.
+var PoisonPackets = false
+
+// Poison sentinels: any arithmetic or indexing on a recycled packet goes
+// loudly wrong instead of silently reading stale-but-plausible data.
+const (
+	poisonSeq  = int64(-0x6b6b6b6b6b6b6b6b)
+	poisonHost = -0x6b6b6b6b
+)
+
+// packetPool is a per-Network free list of Packet structs. A Network is
+// single-threaded (one discrete-event engine), so the pool needs no
+// locking even when independent trials run on parallel goroutines — each
+// trial owns its Network and therefore its pool. Recycled packets keep the
+// capacity of their Route slice, so steady-state route planning appends
+// into storage that has already grown to the fabric's hop-count
+// high-water mark.
+type packetPool struct {
+	free []*Packet
+	gets uint64
+	puts uint64
+}
+
+// NewPacket returns a reset packet, recycling a released one when
+// available. Callers fill in the fields they need; everything else is
+// zero.
+func (n *Network) NewPacket() *Packet {
+	pool := &n.pool
+	pool.gets++
+	if len(pool.free) == 0 {
+		return &Packet{}
+	}
+	p := pool.free[len(pool.free)-1]
+	pool.free = pool.free[:len(pool.free)-1]
+	route := p.Route[:0]
+	*p = Packet{Route: route}
+	return p
+}
+
+// Release returns a terminal packet (delivered or dropped) to the pool.
+// The caller must not touch the packet afterwards; with PoisonPackets set,
+// doing so trips an assertion or reads sentinel garbage.
+func (n *Network) Release(p *Packet) {
+	if PoisonPackets {
+		if p.released {
+			panic(fmt.Sprintf("netsim: double release of packet (seq=%d)", p.Seq))
+		}
+		p.Flow = nil
+		p.Seq = poisonSeq
+		p.PayloadLen = -1
+		p.WireLen = -1
+		p.SrcHost, p.DstHost = poisonHost, poisonHost
+		p.SrcToR, p.DstToR = poisonHost, poisonHost
+		p.RouteIdx = 1 << 30
+		for i := range p.Route {
+			p.Route[i] = PlannedHop{To: poisonHost, AbsSlice: -1}
+		}
+	}
+	p.released = true
+	n.pool.puts++
+	n.pool.free = append(n.pool.free, p)
+}
+
+// assertLive panics when a recycled packet re-enters the fabric (only with
+// PoisonPackets set; the check is a single predictable branch otherwise).
+func (p *Packet) assertLive(where string) {
+	if PoisonPackets && p.released {
+		panic("netsim: use of released packet in " + where)
+	}
+}
+
+// PoolStats reports pool traffic: packets handed out, packets returned,
+// and the difference — packets currently queued in the fabric or in
+// flight inside scheduled events. Tests use it for leak detection.
+func (n *Network) PoolStats() (gets, puts, live uint64) {
+	return n.pool.gets, n.pool.puts, n.pool.gets - n.pool.puts
+}

@@ -24,11 +24,15 @@ type downPort struct {
 	queue     Queue
 	busyUntil sim.Time
 	meter     byteMeter
+
+	// pumpFn is pump bound once, so re-arming the port schedules without
+	// allocating a method-value closure per packet.
+	pumpFn func()
 }
 
 func (d *downPort) enqueue(p *Packet) {
 	if !d.queue.Enqueue(p) {
-		d.net.Counters.DroppedPackets++
+		d.net.dropPacket(p)
 		return
 	}
 	d.pump()
@@ -48,16 +52,22 @@ func (d *downPort) pump() {
 	d.meter.add(int64(p.WireLen))
 	d.net.Counters.TorToHostBytes += int64(p.WireLen)
 	host := d.net.Hosts[d.host]
-	d.net.Eng.At(now+ser+d.net.F.HostPropDelay, func() { host.receive(p) })
-	d.net.Eng.At(d.busyUntil, d.pump)
+	d.net.Eng.At1(now+ser+d.net.F.HostPropDelay, host.recvFn, p)
+	d.net.Eng.At(d.busyUntil, d.pumpFn)
 }
 
 func (d *downPort) takeBytes() int64 { return d.meter.take() }
 
+// anonQueue is the ring id of the host NIC queue for packets of
+// unregistered (or nil) flows.
+const anonQueue = -1
+
 // hostPort is the host NIC toward its ToR. Transports self-limit, so the
 // NIC is unbounded, but it fair-queues per flow (round-robin over active
 // flows, control traffic first) so a bulk sender on the host cannot
-// head-of-line-block a latency-sensitive flow sharing the NIC.
+// head-of-line-block a latency-sensitive flow sharing the NIC. Per-flow
+// queues are indexed by the dense flow id assigned at registration — a
+// slice lookup, not a map probe, on every data packet.
 type hostPort struct {
 	net       *Network
 	tor       int
@@ -65,9 +75,20 @@ type hostPort struct {
 	meter     byteMeter
 
 	high    fifo
-	perFlow map[int64]*fifo
-	ring    []int64 // active flow ids, round-robin
+	perFlow []fifo // dense flow id -> queue
+	anon    fifo   // data packets of unregistered flows
+	ring    []int  // active queue ids (dense or anonQueue), round-robin
 	rr      int
+
+	pumpFn func()
+}
+
+// queueFor resolves a ring id to its fifo.
+func (h *hostPort) queueFor(id int) *fifo {
+	if id == anonQueue {
+		return &h.anon
+	}
+	return &h.perFlow[id]
 }
 
 func (h *hostPort) enqueue(p *Packet) {
@@ -76,18 +97,22 @@ func (h *hostPort) enqueue(p *Packet) {
 		h.pump()
 		return
 	}
-	if h.perFlow == nil {
-		h.perFlow = make(map[int64]*fifo)
+	id := anonQueue
+	if p.Flow != nil && p.Flow.dense >= 0 {
+		id = p.Flow.dense
+		if id >= len(h.perFlow) {
+			// Size to the network's registered-flow count so one growth
+			// covers every flow the workload has launched so far.
+			size := h.net.NumFlows()
+			if size <= id {
+				size = id + 1
+			}
+			grown := make([]fifo, size)
+			copy(grown, h.perFlow)
+			h.perFlow = grown
+		}
 	}
-	id := int64(-1)
-	if p.Flow != nil {
-		id = p.Flow.ID
-	}
-	q, ok := h.perFlow[id]
-	if !ok {
-		q = &fifo{}
-		h.perFlow[id] = q
-	}
+	q := h.queueFor(id)
 	if q.len() == 0 {
 		h.ring = append(h.ring, id)
 	}
@@ -104,8 +129,7 @@ func (h *hostPort) next() *Packet {
 		if h.rr >= len(h.ring) {
 			h.rr = 0
 		}
-		id := h.ring[h.rr]
-		q := h.perFlow[id]
+		q := h.queueFor(h.ring[h.rr])
 		p := q.pop()
 		if p == nil {
 			// Empty slot: retire from the ring.
@@ -136,8 +160,8 @@ func (h *hostPort) pump() {
 	h.meter.add(int64(p.WireLen))
 	h.net.Counters.HostToTorBytes += int64(p.WireLen)
 	tor := h.net.ToRs[h.tor]
-	h.net.Eng.At(now+ser+h.net.F.HostPropDelay, func() { tor.receiveFromHost(p) })
-	h.net.Eng.At(h.busyUntil, h.pump)
+	h.net.Eng.At1(now+ser+h.net.F.HostPropDelay, tor.recvHostFn, p)
+	h.net.Eng.At(h.busyUntil, h.pumpFn)
 }
 
 func (h *hostPort) takeBytes() int64 { return h.meter.take() }
@@ -151,21 +175,24 @@ type uplinkPort struct {
 	tor *ToR
 	sw  int // circuit switch index == uplink index
 
-	cal       []*Queue // one per cyclic slice
+	// cal is one calendar queue per cyclic slice, stored by value: a
+	// single allocation per port, and slot state (fifo capacity) is
+	// recycled across the cycle instead of reallocated.
+	cal       []Queue
 	busyUntil sim.Time
 	meter     byteMeter
+
+	pumpFn func()
 }
 
 func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
 	u := &uplinkPort{net: n, tor: tor, sw: sw}
-	u.cal = make([]*Queue, n.F.Sched.S)
+	u.pumpFn = u.pump
+	u.cal = make([]Queue, n.F.Sched.S)
 	for i := range u.cal {
-		q := &Queue{
-			MaxDataPackets: n.UpQueue.MaxDataPackets,
-			ECNThreshold:   n.UpQueue.ECNThreshold,
-			Trim:           n.UpQueue.Trim,
-		}
-		u.cal[i] = q
+		u.cal[i].MaxDataPackets = n.UpQueue.MaxDataPackets
+		u.cal[i].ECNThreshold = n.UpQueue.ECNThreshold
+		u.cal[i].Trim = n.UpQueue.Trim
 	}
 	return u
 }
@@ -193,14 +220,14 @@ func (u *uplinkPort) pump() {
 	abs := u.net.F.AbsSlice(now)
 	c := u.net.F.CyclicSlice(abs)
 	if open := u.circuitOpen(abs); now < open {
-		u.net.Eng.At(open, u.pump)
+		u.net.Eng.At(open, u.pumpFn)
 		return
 	}
 	peer := u.net.F.Sched.PeerOf(c, u.tor.id, u.sw)
 	end := u.net.F.SliceEnd(abs)
 
 	// Scheduled (calendar) traffic first, then RotorLB traffic.
-	q := u.cal[c]
+	q := &u.cal[c]
 	p := q.Peek()
 	if p != nil {
 		if now+u.net.serdelayUp(p.WireLen) > end {
@@ -210,14 +237,12 @@ func (u *uplinkPort) pump() {
 		p.RouteIdx++
 		p.Rerouted = 0 // the per-ToR recirculation budget resets on departure
 	} else if u.tor.rotor != nil {
-		p = u.tor.rotor.selectPacket(peer, func(wireLen int) bool {
-			return now+u.net.serdelayUp(wireLen) <= end
-		})
+		p = u.tor.rotor.selectPacket(peer, end-now)
 		if p == nil && u.tor.rotor.backlogFor(peer) {
 			// Blocked on final-hop backpressure: retry within the slice.
 			retry := now + u.net.serdelayUp(u.net.F.MTU)
 			if retry < end {
-				u.net.Eng.At(retry, u.pump)
+				u.net.Eng.At(retry, u.pumpFn)
 			}
 			return
 		}
@@ -230,15 +255,15 @@ func (u *uplinkPort) pump() {
 	u.meter.add(int64(p.WireLen))
 	u.net.Counters.TorToTorBytes += int64(p.WireLen)
 	dst := u.net.ToRs[peer]
-	u.net.Eng.At(now+ser+u.net.F.PropDelay, func() { dst.receiveFromPeer(p) })
-	u.net.Eng.At(u.busyUntil, u.pump)
+	u.net.Eng.At1(now+ser+u.net.F.PropDelay, dst.recvPeerFn, p)
+	u.net.Eng.At(u.busyUntil, u.pumpFn)
 }
 
 // queuedBytes reports the data bytes parked across all calendar queues.
 func (u *uplinkPort) queuedBytes() int64 {
 	var b int64
-	for _, q := range u.cal {
-		b += q.DataBytes()
+	for i := range u.cal {
+		b += u.cal[i].DataBytes()
 	}
 	return b
 }

@@ -13,9 +13,9 @@ type stubRouter struct{ f *topo.Fabric }
 
 func (s stubRouter) Name() string           { return "stub" }
 func (s stubRouter) RotorFlow(f *Flow) bool { return false }
-func (s stubRouter) PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64) ([]PlannedHop, bool) {
+func (s stubRouter) PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64, buf []PlannedHop) ([]PlannedHop, bool) {
 	e := s.f.Sched.NextDirect(tor, p.DstToR, fromAbs)
-	return []PlannedHop{{To: p.DstToR, AbsSlice: e}}, true
+	return append(buf, PlannedHop{To: p.DstToR, AbsSlice: e}), true
 }
 
 func stubNet(t testing.TB) (*sim.Engine, *Network) {

@@ -38,7 +38,11 @@ func (f *fifo) pop() *Packet {
 	p := f.items[f.head]
 	f.items[f.head] = nil
 	f.head++
-	if f.head > 64 && f.head*2 >= len(f.items) {
+	if f.head == len(f.items) {
+		// Drained: rewind so the next burst reuses the same backing array.
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.items) {
 		n := copy(f.items, f.items[f.head:])
 		f.items = f.items[:n]
 		f.head = 0
@@ -46,6 +50,18 @@ func (f *fifo) pop() *Packet {
 	return p
 }
 func (f *fifo) len() int { return len(f.items) - f.head }
+
+// dataCount counts Type==Data packets in the fifo. Trimmed data packets ride
+// high-priority bands but remain data for the conservation ledger.
+func (f *fifo) dataCount() int {
+	c := 0
+	for _, p := range f.items[f.head:] {
+		if p != nil && p.Type == Data {
+			c++
+		}
+	}
+	return c
+}
 
 // Enqueue adds a packet, applying ECN marking, trimming, or drop policy.
 // It reports whether the packet (possibly trimmed) was accepted.
@@ -105,3 +121,7 @@ func (q *Queue) DataLen() int { return q.low.len() }
 
 // DataBytes returns the bytes held in the data band.
 func (q *Queue) DataBytes() int64 { return q.dataBytes }
+
+// countData counts Type==Data packets across both bands (trimmed data sits
+// in the high band).
+func (q *Queue) countData() int { return q.high.dataCount() + q.low.dataCount() }

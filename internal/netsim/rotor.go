@@ -1,5 +1,7 @@
 package netsim
 
+import "ucmp/internal/sim"
+
 // rotorState implements the RotorLB-style hop-by-hop machinery used for
 // VLB-class traffic: per-destination local VOQs (traffic originating at
 // this ToR) and nonlocal VOQs (indirect traffic parked here for its final
@@ -66,12 +68,18 @@ func (r *rotorState) pushNonlocal(p *Packet) {
 	r.tor.pumpFor(dst)
 }
 
-// selectPacket picks the next rotor packet to send toward peer, honoring
-// the fits predicate (remaining slice time). Returns nil when nothing
-// eligible. Final-hop sends additionally require room in the destination
-// host's downlink queue: RotorLB is lossless via backpressure, which this
-// occupancy check stands in for (rotor traffic has no retransmission).
-func (r *rotorState) selectPacket(peer int, fits func(wireLen int) bool) *Packet {
+// selectPacket picks the next rotor packet to send toward peer. budget is
+// the serialization time remaining in the slice: a candidate fits when its
+// uplink serialization delay is within it (passed as a value so the hot
+// uplink pump does not allocate a predicate closure per call). Returns nil
+// when nothing eligible. Final-hop sends additionally require room in the
+// destination host's downlink queue: RotorLB is lossless via backpressure,
+// which this occupancy check stands in for (rotor traffic has no
+// retransmission).
+func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
+	fits := func(wireLen int) bool {
+		return r.tor.net.serdelayUp(wireLen) <= budget
+	}
 	// 1. Nonlocal traffic completing its second hop.
 	if r.nonlocal[peer].len() > 0 {
 		p := r.nonlocal[peer].items[r.nonlocal[peer].head]

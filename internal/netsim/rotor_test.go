@@ -23,7 +23,12 @@ func rotorPkt(n *Network, id int64, dstToR int) *Packet {
 		SrcHost: fl.SrcHost, DstHost: fl.DstHost, SrcToR: 0, DstToR: dstToR}
 }
 
-func alwaysFits(int) bool { return true }
+// fitsAll is a budget no packet exceeds; noTime blocks every send (the
+// slice has no serialization time left).
+const (
+	fitsAll = sim.Time(1) << 60
+	noTime  = sim.Time(0)
+)
 
 // RotorLB drain priority: nonlocal (second hop) > local direct > indirect.
 func TestRotorSelectPriority(t *testing.T) {
@@ -40,17 +45,17 @@ func TestRotorSelectPriority(t *testing.T) {
 	r.pushLocal(local)
 	r.pushNonlocal(second)
 
-	if got := r.selectPacket(peer, alwaysFits); got != second {
+	if got := r.selectPacket(peer, fitsAll); got != second {
 		t.Fatalf("first pick %v, want the nonlocal packet", got.Flow.ID)
 	}
-	if got := r.selectPacket(peer, alwaysFits); got != local {
+	if got := r.selectPacket(peer, fitsAll); got != local {
 		t.Fatalf("second pick flow %d, want the local direct packet", got.Flow.ID)
 	}
-	got := r.selectPacket(peer, alwaysFits)
+	got := r.selectPacket(peer, fitsAll)
 	if got != indirect {
 		t.Fatalf("third pick %v, want the indirect packet", got)
 	}
-	if r.selectPacket(peer, alwaysFits) != nil {
+	if r.selectPacket(peer, fitsAll) != nil {
 		t.Fatal("queues should be empty")
 	}
 }
@@ -64,12 +69,12 @@ func TestRotorIndirectionBackpressure(t *testing.T) {
 	// Fill the peer's nonlocal VOQ beyond the cap.
 	peerToR.rotor.pushNonlocal(rotorPkt(n, 10, 9))
 	tor.rotor.pushLocal(rotorPkt(n, 1, 9)) // candidate for indirection via 5
-	if p := tor.rotor.selectPacket(5, alwaysFits); p != nil {
+	if p := tor.rotor.selectPacket(5, fitsAll); p != nil {
 		t.Fatalf("indirected despite peer backlog: flow %d", p.Flow.ID)
 	}
 	// Direct traffic unaffected by the indirection cap.
 	tor.rotor.pushLocal(rotorPkt(n, 2, 5))
-	if p := tor.rotor.selectPacket(5, alwaysFits); p == nil || p.Flow.ID != 2 {
+	if p := tor.rotor.selectPacket(5, fitsAll); p == nil || p.Flow.ID != 2 {
 		t.Fatal("direct packet blocked by indirection cap")
 	}
 }
@@ -91,7 +96,7 @@ func TestRotorCreditAndWaiters(t *testing.T) {
 	}
 	fired := false
 	tor.RotorNotify(dst, func() { fired = true })
-	if p := tor.rotor.selectPacket(dst, alwaysFits); p == nil {
+	if p := tor.rotor.selectPacket(dst, fitsAll); p == nil {
 		t.Fatal("drain failed")
 	}
 	if !fired {
@@ -102,19 +107,18 @@ func TestRotorCreditAndWaiters(t *testing.T) {
 	}
 }
 
-// The fits predicate (slice time) blocks oversized sends without dropping.
-func TestRotorFitsPredicate(t *testing.T) {
+// A zero slice-time budget blocks oversized sends without dropping.
+func TestRotorBudgetBlocks(t *testing.T) {
 	n := rotorNet(t)
 	tor := n.ToRs[0]
 	tor.rotor.pushLocal(rotorPkt(n, 1, 5))
-	never := func(int) bool { return false }
-	if tor.rotor.selectPacket(5, never) != nil {
-		t.Fatal("packet sent despite fits=false")
+	if tor.rotor.selectPacket(5, noTime) != nil {
+		t.Fatal("packet sent despite zero slice-time budget")
 	}
 	if !tor.rotor.backlogFor(5) {
 		t.Fatal("backlog lost")
 	}
-	if tor.rotor.selectPacket(5, alwaysFits) == nil {
+	if tor.rotor.selectPacket(5, fitsAll) == nil {
 		t.Fatal("packet gone")
 	}
 }

@@ -15,7 +15,12 @@ type Router interface {
 	// for fresh packets, later for recirculated ones (§6.3). ok=false means
 	// the router has no path (e.g. under failures), and the packet is
 	// dropped.
-	PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64) (route []PlannedHop, ok bool)
+	//
+	// buf is reusable storage the route should be appended into (it arrives
+	// with length zero; it is the recycled packet's previous Route slice, so
+	// steady-state planning allocates nothing). Implementations may ignore
+	// it and return fresh storage, at an allocation per plan.
+	PlanRoute(p *Packet, tor int, now sim.Time, fromAbs int64, buf []PlannedHop) (route []PlannedHop, ok bool)
 
 	// RotorFlow reports whether the flow's data packets bypass source
 	// routing and use the RotorLB hop-by-hop machinery (VLB; Opera and

@@ -11,13 +11,20 @@ type ToR struct {
 	down  []*downPort
 	up    []*uplinkPort
 	rotor *rotorState
+
+	// recvHostFn/recvPeerFn are the receive methods pre-bound for sim.At1:
+	// link transmissions schedule arrivals without a per-packet closure.
+	recvHostFn func(any)
+	recvPeerFn func(any)
 }
 
 func newToR(n *Network, id int) *ToR {
 	t := &ToR{net: n, id: id}
+	t.recvHostFn = func(a any) { t.receiveFromHost(a.(*Packet)) }
+	t.recvPeerFn = func(a any) { t.receiveFromPeer(a.(*Packet)) }
 	t.down = make([]*downPort, n.F.HostsPerToR)
 	for i := range t.down {
-		t.down[i] = &downPort{
+		d := &downPort{
 			net:  n,
 			host: id*n.F.HostsPerToR + i,
 			queue: Queue{
@@ -26,6 +33,8 @@ func newToR(n *Network, id int) *ToR {
 				Trim:           n.DownQueue.Trim,
 			},
 		}
+		d.pumpFn = d.pump
+		t.down[i] = d
 	}
 	t.up = make([]*uplinkPort, n.F.Uplinks)
 	for sw := range t.up {
@@ -65,6 +74,7 @@ func (t *ToR) onSliceStart(abs int64) {
 
 // receiveFromHost accepts a packet from a local host NIC.
 func (t *ToR) receiveFromHost(p *Packet) {
+	p.assertLive("ToR.receiveFromHost")
 	if p.Type == Data {
 		t.net.Counters.DataPackets++
 	}
@@ -81,6 +91,7 @@ func (t *ToR) receiveFromHost(p *Packet) {
 
 // receiveFromPeer accepts a packet arriving over a circuit.
 func (t *ToR) receiveFromPeer(p *Packet) {
+	p.assertLive("ToR.receiveFromPeer")
 	p.TorHops++
 	if p.DstToR == t.id {
 		t.deliverDown(p)
@@ -112,7 +123,7 @@ func (t *ToR) receiveFromPeer(p *Packet) {
 func (t *ToR) deliverDown(p *Packet) {
 	local := p.DstHost - t.id*t.net.F.HostsPerToR
 	if local < 0 || local >= len(t.down) {
-		t.net.Counters.DroppedPackets++
+		t.net.dropPacket(p)
 		return
 	}
 	t.down[local].enqueue(p)
@@ -125,9 +136,12 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 	now := t.net.Eng.Now()
 	bumped := false
 	for {
-		route, ok := t.net.Router.PlanRoute(p, t.id, now, fromAbs)
+		// The recycled packet's Route slice is the router's scratch: once it
+		// has grown to the fabric's hop-count high-water mark, planning
+		// allocates nothing.
+		route, ok := t.net.Router.PlanRoute(p, t.id, now, fromAbs, p.Route[:0])
 		if !ok || len(route) == 0 {
-			t.net.Counters.DroppedPackets++
+			t.net.dropPacket(p)
 			return
 		}
 		// Feasibility of same-slice chains: a plan whose leading hops all
@@ -182,7 +196,7 @@ func (t *ToR) bumpReroute(p *Packet) bool {
 	p.WasRerouted = true
 	p.Rerouted++
 	if p.Rerouted > MaxReroutes {
-		t.net.Counters.DroppedPackets++
+		t.net.dropPacket(p)
 		return false
 	}
 	return true

@@ -73,7 +73,7 @@ func (r *KSP) RotorFlow(f *netsim.Flow) bool { return false }
 // PlanRoute implements netsim.Router: the flow hash picks one of the k
 // paths of the current slice instance; all hops are planned within that
 // slice (continuous-path assumption).
-func (r *KSP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+func (r *KSP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
 	dst := p.DstToR
 	if dst == tor {
 		return nil, false
@@ -88,7 +88,7 @@ func (r *KSP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) 
 		hash = p.Flow.Hash
 	}
 	nodes := cands[hash%uint64(len(cands))]
-	return sameSliceHops(nodes, fromAbs), true
+	return sameSliceHops(nodes, fromAbs, buf), true
 }
 
 // Paths exposes the precomputed path table for analytics (Fig 5b).

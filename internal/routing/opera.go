@@ -39,7 +39,7 @@ func (o *Opera) Name() string {
 func (o *Opera) RotorFlow(f *netsim.Flow) bool { return f.Size >= o.Cutoff }
 
 // PlanRoute implements netsim.Router for the short-flow (KSP) side.
-func (o *Opera) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+func (o *Opera) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
 	dst := p.DstToR
 	if dst == tor {
 		return nil, false
@@ -59,7 +59,7 @@ func (o *Opera) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64
 		if len(cands) == 0 {
 			continue
 		}
-		return sameSliceHops(cands[hash%uint64(len(cands))], abs), true
+		return sameSliceHops(cands[hash%uint64(len(cands))], abs, buf), true
 	}
 	return nil, false
 }

@@ -11,24 +11,24 @@ import (
 )
 
 // hopsFromPath converts a core.Path (slices relative to its group's start)
-// into netsim planned hops anchored at absolute slice fromAbs.
-func hopsFromPath(p *core.Path, fromAbs int64) []netsim.PlannedHop {
+// into netsim planned hops anchored at absolute slice fromAbs, appending
+// into buf (the packet's recycled Route storage — zero-length, reusable
+// capacity) so steady-state planning allocates nothing.
+func hopsFromPath(p *core.Path, fromAbs int64, buf []netsim.PlannedHop) []netsim.PlannedHop {
 	offset := fromAbs - p.StartSlice
-	hops := make([]netsim.PlannedHop, len(p.Hops))
-	for i, h := range p.Hops {
-		hops[i] = netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset}
+	for _, h := range p.Hops {
+		buf = append(buf, netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset})
 	}
-	return hops
+	return buf
 }
 
 // sameSliceHops plans a node path (KSP/Opera style continuous path) with
-// every hop in the given absolute slice.
-func sameSliceHops(nodes []int, abs int64) []netsim.PlannedHop {
-	hops := make([]netsim.PlannedHop, 0, len(nodes)-1)
+// every hop in the given absolute slice, appending into buf.
+func sameSliceHops(nodes []int, abs int64, buf []netsim.PlannedHop) []netsim.PlannedHop {
 	for _, v := range nodes[1:] {
-		hops = append(hops, netsim.PlannedHop{To: v, AbsSlice: abs})
+		buf = append(buf, netsim.PlannedHop{To: v, AbsSlice: abs})
 	}
-	return hops
+	return buf
 }
 
 // FlowCutoff15MB is Opera's hard flow-size cutoff (§2.2).

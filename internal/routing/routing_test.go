@@ -61,7 +61,7 @@ func TestUCMPPlansValidRoutes(t *testing.T) {
 		fromAbs := int64(rf % 100)
 		p := dataPacket(f, src, dst, 1<<20)
 		p.Bucket = int(bucket) % u.Ager.NumBuckets()
-		hops, ok := u.PlanRoute(p, src, 0, fromAbs)
+		hops, ok := u.PlanRoute(p, src, 0, fromAbs, nil)
 		if !ok {
 			return false
 		}
@@ -89,10 +89,10 @@ func TestUCMPBucketControlsHops(t *testing.T) {
 			}
 			pNew := dataPacket(f, src, dst, 0)
 			pNew.Bucket = 0
-			newHops, _ := u.PlanRoute(pNew, src, 0, 0)
+			newHops, _ := u.PlanRoute(pNew, src, 0, 0, nil)
 			pOld := dataPacket(f, src, dst, 0)
 			pOld.Bucket = u.Ager.NumBuckets() - 1
-			oldHops, _ := u.PlanRoute(pOld, src, 0, 0)
+			oldHops, _ := u.PlanRoute(pOld, src, 0, 0, nil)
 			if len(newHops) < len(oldHops) {
 				t.Fatalf("bucket 0 (new flow) got %d hops < aged bucket's %d", len(newHops), len(oldHops))
 			}
@@ -132,7 +132,7 @@ func TestUCMPFailureFallback(t *testing.T) {
 				continue
 			}
 			p := dataPacket(f, src, dst, 1<<20)
-			hops, ok := u.PlanRoute(p, src, 0, 0)
+			hops, ok := u.PlanRoute(p, src, 0, 0, nil)
 			if !ok {
 				continue // allowed: unrecoverable pairs exist at high failure rates
 			}
@@ -164,7 +164,7 @@ func TestVLBRoutes(t *testing.T) {
 			}
 			for abs := int64(0); abs < int64(f.Sched.S); abs++ {
 				p := dataPacket(f, src, dst, 1000)
-				hops, ok := v.PlanRoute(p, src, 0, abs)
+				hops, ok := v.PlanRoute(p, src, 0, abs, nil)
 				if !ok {
 					t.Fatalf("VLB failed to plan %d->%d", src, dst)
 				}
@@ -194,7 +194,7 @@ func TestVLBPhase1Immediate(t *testing.T) {
 				continue
 			}
 			p := dataPacket(f, src, dst, 1000)
-			hops, _ := v.PlanRoute(p, src, 0, 7)
+			hops, _ := v.PlanRoute(p, src, 0, 7, nil)
 			// Phase 1 forwards immediately: the first hop is in the
 			// starting slice.
 			if hops[0].AbsSlice != 7 {
@@ -220,7 +220,7 @@ func TestKSPRoutesAndDiversity(t *testing.T) {
 				t.Fatalf("no KSP paths %d->%d", src, dst)
 			}
 			p := dataPacket(f, src, dst, 1000)
-			hops, ok := k5.PlanRoute(p, src, 0, 0)
+			hops, ok := k5.PlanRoute(p, src, 0, 0, nil)
 			if !ok {
 				t.Fatal("KSP plan failed")
 			}
@@ -253,7 +253,7 @@ func TestOperaRoutesOnStableGraph(t *testing.T) {
 				continue
 			}
 			p := dataPacket(f, src, dst, 1000)
-			hops, ok := o.PlanRoute(p, src, 0, 3)
+			hops, ok := o.PlanRoute(p, src, 0, 3, nil)
 			if !ok {
 				continue // stable subgraph may disconnect a pair transiently
 			}
@@ -291,7 +291,7 @@ func TestOperaRoutesOnStableGraph(t *testing.T) {
 
 func TestHopsFromPathOffsets(t *testing.T) {
 	p := &core.Path{Src: 0, Dst: 5, StartSlice: 2, Hops: []core.Hop{{To: 3, Slice: 2}, {To: 5, Slice: 4}}}
-	hops := hopsFromPath(p, 12) // fromAbs 12, cyclic start 2 -> offset 10
+	hops := hopsFromPath(p, 12, nil) // fromAbs 12, cyclic start 2 -> offset 10
 	if hops[0].AbsSlice != 12 || hops[1].AbsSlice != 14 {
 		t.Fatalf("offsets wrong: %v", hops)
 	}

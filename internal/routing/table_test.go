@@ -27,7 +27,7 @@ func TestCompiledTableAgreesWithRouter(t *testing.T) {
 			for b := 0; b < u.Ager.NumBuckets(); b++ {
 				p := dataPacket(f, tor, dst, 1<<20)
 				p.Bucket = b
-				want, ok := u.PlanRoute(p, tor, 0, int64(ts))
+				want, ok := u.PlanRoute(p, tor, 0, int64(ts), nil)
 				if !ok {
 					t.Fatalf("router failed %d->%d", tor, dst)
 				}

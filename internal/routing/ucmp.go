@@ -62,7 +62,7 @@ func (u *UCMP) RotorFlow(f *netsim.Flow) bool {
 // entry of the UCMP group for (tor, dst, slice); parallel paths tie-break
 // on the flow hash. Control packets carry bucket 0 and ride the
 // minimum-latency path.
-func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
 	dst := p.DstToR
 	if dst == tor {
 		return nil, false
@@ -94,7 +94,7 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64)
 		}
 		path = backups[int(hash%uint64(len(backups)))]
 	}
-	return hopsFromPath(path, fromAbs), true
+	return hopsFromPath(path, fromAbs, buf), true
 }
 
 // pickHealthy resolves the bucket to a path, skipping paths through failed

@@ -29,14 +29,14 @@ func (v *VLB) RotorFlow(f *netsim.Flow) bool { return true }
 // PlanRoute implements netsim.Router: direct circuit if available in the
 // starting slice, otherwise a 2-hop path via a hash-chosen neighbor of the
 // current slice graph with phase 2 waiting for the next direct circuit.
-func (v *VLB) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+func (v *VLB) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
 	dst := p.DstToR
 	if dst == tor {
 		return nil, false
 	}
 	c := v.F.CyclicSlice(fromAbs)
 	if v.F.Sched.SwitchFor(c, tor, dst) >= 0 && !v.failed(dst) {
-		return []netsim.PlannedHop{{To: dst, AbsSlice: fromAbs}}, true
+		return append(buf, netsim.PlannedHop{To: dst, AbsSlice: fromAbs}), true
 	}
 	var hash uint64
 	if p.Flow != nil {
@@ -50,14 +50,14 @@ func (v *VLB) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) 
 			continue
 		}
 		e2 := v.F.Sched.NextDirect(mid, dst, fromAbs)
-		return []netsim.PlannedHop{
-			{To: mid, AbsSlice: fromAbs},
-			{To: dst, AbsSlice: e2},
-		}, true
+		return append(buf,
+			netsim.PlannedHop{To: mid, AbsSlice: fromAbs},
+			netsim.PlannedHop{To: dst, AbsSlice: e2},
+		), true
 	}
 	// All neighbors failed or equal to dst: wait for the direct circuit.
 	e := v.F.Sched.NextDirect(tor, dst, fromAbs)
-	return []netsim.PlannedHop{{To: dst, AbsSlice: e}}, true
+	return append(buf, netsim.PlannedHop{To: dst, AbsSlice: e}), true
 }
 
 func (v *VLB) failed(tor int) bool { return v.Failed != nil && v.Failed(tor) }

@@ -43,11 +43,27 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros returns the time as a float64 number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback.
+// event is a scheduled callback: either a plain closure (fn) or a
+// pre-bound handler with an argument (fn1/arg). The two-field form exists
+// for the packet hot path: a port can schedule "deliver packet p" with a
+// function value created once at construction time, so the steady-state
+// event loop allocates nothing (a *Packet stored in an interface does not
+// escape to the heap).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	fn1 func(any)
+	arg any
+}
+
+// call dispatches the event's callback.
+func (ev *event) call() {
+	if ev.fn1 != nil {
+		ev.fn1(ev.arg)
+		return
+	}
+	ev.fn()
 }
 
 // eventHeap is a typed min-heap ordered by (at, seq). It hand-rolls sift-up
@@ -150,6 +166,20 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// At1 schedules fn(arg) at absolute time t. Unlike At with a capturing
+// closure, a pre-bound fn plus a pointer-typed arg schedules without
+// allocating, which is what the per-packet hot path uses.
+func (e *Engine) At1(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn1: fn, arg: arg})
+}
+
+// After1 schedules fn(arg) d nanoseconds from now.
+func (e *Engine) After1(d Time, fn func(any), arg any) { e.At1(e.now+d, fn, arg) }
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -166,7 +196,7 @@ func (e *Engine) Run(until Time) Time {
 		ev := e.events.pop()
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		ev.call()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -181,7 +211,7 @@ func (e *Engine) RunAll() Time {
 		ev := e.events.pop()
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		ev.call()
 	}
 	return e.now
 }

@@ -43,13 +43,12 @@ func (s *ndpSender) sendNew() {
 }
 
 func (s *ndpSender) emit(seq int64, length int) {
-	p := &netsim.Packet{
-		Flow:       s.f,
-		Type:       netsim.Data,
-		Seq:        seq,
-		PayloadLen: length,
-		WireLen:    length + netsim.HeaderBytes,
-	}
+	p := s.net.NewPacket()
+	p.Flow = s.f
+	p.Type = netsim.Data
+	p.Seq = seq
+	p.PayloadLen = length
+	p.WireLen = length + netsim.HeaderBytes
 	s.host.Send(p)
 }
 
@@ -95,14 +94,17 @@ type ndpReceiver struct {
 
 	rto       sim.Time
 	lastHeard sim.Time
+	repairFn  func() // repairTick pre-bound, re-armed once per RTO
 }
 
 func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
 	host := stack.Net.Hosts[f.DstHost]
-	return &ndpReceiver{
+	r := &ndpReceiver{
 		net: stack.Net, f: f, host: host, ivs: &intervalSet{},
 		pacer: stack.pacer(f.DstHost), rto: stack.rto(),
 	}
+	r.repairFn = r.repairTick
+	return r
 }
 
 // armRepair schedules the idle-repair check.
@@ -110,7 +112,7 @@ func (r *ndpReceiver) armRepair() {
 	if r.f.Finished {
 		return
 	}
-	r.net.Eng.After(r.rto, r.repairTick)
+	r.net.Eng.After(r.rto, r.repairFn)
 }
 
 // repairTick NACKs missing chunks if the flow has gone quiet.
@@ -122,8 +124,7 @@ func (r *ndpReceiver) repairTick() {
 		budget := 16
 		for _, hole := range r.ivs.holes(budget, r.f.Size) {
 			for seq := hole[0]; seq < hole[1] && budget > 0; seq += MSS {
-				nack := &netsim.Packet{Flow: r.f, Type: netsim.Nack, Seq: seq, WireLen: netsim.HeaderBytes}
-				r.host.Send(nack)
+				r.sendNack(seq)
 				r.pacer.request(r)
 				budget--
 			}
@@ -142,8 +143,7 @@ func (r *ndpReceiver) Deliver(p *netsim.Packet) {
 	}
 	r.lastHeard = r.net.Eng.Now()
 	if p.Trimmed {
-		nack := &netsim.Packet{Flow: r.f, Type: netsim.Nack, Seq: p.Seq, WireLen: netsim.HeaderBytes}
-		r.host.Send(nack)
+		r.sendNack(p.Seq)
 		r.pacer.request(r)
 		return
 	}
@@ -157,11 +157,23 @@ func (r *ndpReceiver) Deliver(p *netsim.Packet) {
 	r.pacer.request(r)
 }
 
+func (r *ndpReceiver) sendNack(seq int64) {
+	nack := r.net.NewPacket()
+	nack.Flow = r.f
+	nack.Type = netsim.Nack
+	nack.Seq = seq
+	nack.WireLen = netsim.HeaderBytes
+	r.host.Send(nack)
+}
+
 func (r *ndpReceiver) sendPull() {
 	if r.f.Finished {
 		return
 	}
-	pull := &netsim.Packet{Flow: r.f, Type: netsim.Pull, WireLen: netsim.HeaderBytes}
+	pull := r.net.NewPacket()
+	pull.Flow = r.f
+	pull.Type = netsim.Pull
+	pull.WireLen = netsim.HeaderBytes
 	r.host.Send(pull)
 }
 
@@ -172,13 +184,16 @@ type pullPacer struct {
 	net      *netsim.Network
 	host     int
 	queue    []*ndpReceiver
+	qhead    int
 	nextFree sim.Time
+	drainFn  func()
 }
 
 func (s *Stack) pacer(host int) *pullPacer {
 	p, ok := s.pacers[host]
 	if !ok {
 		p = &pullPacer{net: s.Net, host: host}
+		p.drainFn = p.drain
 		s.pacers[host] = p
 	}
 	return p
@@ -194,15 +209,21 @@ func (p *pullPacer) drain() {
 	if now < p.nextFree {
 		return
 	}
-	if len(p.queue) == 0 {
+	if p.qhead >= len(p.queue) {
 		return
 	}
-	r := p.queue[0]
-	p.queue = p.queue[1:]
+	r := p.queue[p.qhead]
+	p.queue[p.qhead] = nil
+	p.qhead++
+	if p.qhead == len(p.queue) {
+		// Drained: rewind so the backing array is reused.
+		p.queue = p.queue[:0]
+		p.qhead = 0
+	}
 	r.sendPull()
 	gap := p.net.F.SerializationDelay(MSS + netsim.HeaderBytes)
 	p.nextFree = now + gap
-	if len(p.queue) > 0 {
-		p.net.Eng.At(p.nextFree, p.drain)
+	if p.qhead < len(p.queue) {
+		p.net.Eng.At(p.nextFree, p.drainFn)
 	}
 }

@@ -16,15 +16,18 @@ type rotorSender struct {
 
 	next   int64
 	dstToR int
+	pushFn func() // push pre-bound for credit-notify parking
 }
 
 func newRotorSender(n *netsim.Network, f *netsim.Flow) *rotorSender {
 	host := n.Hosts[f.SrcHost]
-	return &rotorSender{
+	s := &rotorSender{
 		net: n, f: f, host: host,
 		tor:    n.ToRs[host.ToR()],
 		dstToR: n.HostToR(f.DstHost),
 	}
+	s.pushFn = s.push
+	return s
 }
 
 func (s *rotorSender) start() { s.push() }
@@ -33,20 +36,19 @@ func (s *rotorSender) start() { s.push() }
 func (s *rotorSender) push() {
 	for s.next < s.f.Size {
 		if !s.tor.RotorHasCredit(s.dstToR) {
-			s.tor.RotorNotify(s.dstToR, s.push)
+			s.tor.RotorNotify(s.dstToR, s.pushFn)
 			return
 		}
 		length := int64(MSS)
 		if s.next+length > s.f.Size {
 			length = s.f.Size - s.next
 		}
-		p := &netsim.Packet{
-			Flow:       s.f,
-			Type:       netsim.Data,
-			Seq:        s.next,
-			PayloadLen: int(length),
-			WireLen:    int(length) + netsim.HeaderBytes,
-		}
+		p := s.net.NewPacket()
+		p.Flow = s.f
+		p.Type = netsim.Data
+		p.Seq = s.next
+		p.PayloadLen = int(length)
+		p.WireLen = int(length) + netsim.HeaderBytes
 		s.host.Send(p)
 		s.next += length
 		s.f.BytesSent += length

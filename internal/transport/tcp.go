@@ -31,22 +31,28 @@ type tcpSender struct {
 	markedBytes int64
 	windowEnd   int64
 
-	// RTO machinery: a generation counter invalidates stale timers.
-	timerGen  uint64
-	timerSet  bool
-	lastReduc int64 // sndUna at the last window reduction (one cut per RTT)
+	// RTO machinery: a sliding deadline and at most one outstanding engine
+	// event (re-armed at fire time if the deadline moved), so acking does
+	// not allocate a timer closure per packet.
+	deadline    sim.Time
+	timerArmed  bool // deadline is meaningful
+	timerQueued bool // an engine event is outstanding
+	timeoutFn   func()
+	lastReduc   int64 // sndUna at the last window reduction (one cut per RTT)
 }
 
 const dctcpG = 1.0 / 16
 
 func newTCPSender(n *netsim.Network, f *netsim.Flow, dctcp bool, rto sim.Time) *tcpSender {
-	return &tcpSender{
+	s := &tcpSender{
 		net: n, f: f, host: n.Hosts[f.SrcHost],
 		dctcp: dctcp, rto: rto,
 		cwnd:     10 * MSS,
 		ssthresh: 1 << 30,
 		alpha:    1,
 	}
+	s.timeoutFn = s.onTimeout
+	return s
 }
 
 func (s *tcpSender) start() {
@@ -69,14 +75,13 @@ func (s *tcpSender) pump() {
 
 // emit sends one data segment.
 func (s *tcpSender) emit(seq int64, length int, rtx bool) {
-	p := &netsim.Packet{
-		Flow:       s.f,
-		Type:       netsim.Data,
-		Seq:        seq,
-		PayloadLen: length,
-		WireLen:    length + netsim.HeaderBytes,
-		ECNCapable: s.dctcp,
-	}
+	p := s.net.NewPacket()
+	p.Flow = s.f
+	p.Type = netsim.Data
+	p.Seq = seq
+	p.PayloadLen = length
+	p.WireLen = length + netsim.HeaderBytes
+	p.ECNCapable = s.dctcp
 	_ = rtx
 	s.host.Send(p)
 }
@@ -148,20 +153,32 @@ func (s *tcpSender) fastRetransmit() {
 	s.armTimer()
 }
 
-// armTimer (re)sets the retransmission timer.
+// armTimer (re)sets the retransmission timer by pushing the deadline out.
+// The single outstanding engine event fires at some past deadline and either
+// re-arms itself at the current one or acts — equivalent to scheduling a
+// fresh timer per ACK without the per-ACK closure.
 func (s *tcpSender) armTimer() {
 	if s.sndUna >= s.f.Size || s.f.Finished {
-		s.timerSet = false
+		s.timerArmed = false
 		return
 	}
-	s.timerGen++
-	gen := s.timerGen
-	s.timerSet = true
-	s.net.Eng.After(s.rto, func() { s.onTimeout(gen) })
+	s.deadline = s.net.Eng.Now() + s.rto
+	s.timerArmed = true
+	if !s.timerQueued {
+		s.timerQueued = true
+		s.net.Eng.At(s.deadline, s.timeoutFn)
+	}
 }
 
-func (s *tcpSender) onTimeout(gen uint64) {
-	if gen != s.timerGen || !s.timerSet || s.f.Finished || s.sndUna >= s.f.Size {
+func (s *tcpSender) onTimeout() {
+	s.timerQueued = false
+	if !s.timerArmed || s.f.Finished || s.sndUna >= s.f.Size {
+		return
+	}
+	if s.net.Eng.Now() < s.deadline {
+		// The deadline moved since this event was scheduled: chase it.
+		s.timerQueued = true
+		s.net.Eng.At(s.deadline, s.timeoutFn)
 		return
 	}
 	// Go-back-N: restart from the first unacked byte.
@@ -187,13 +204,12 @@ func (r *tcpReceiver) Deliver(p *netsim.Packet) {
 	}
 	newBytes := r.ivs.add(p.Seq, p.Seq+int64(p.PayloadLen))
 	r.net.RecordDelivered(r.f, newBytes)
-	ack := &netsim.Packet{
-		Flow:    r.f,
-		Type:    netsim.Ack,
-		Seq:     r.ivs.cumulative(),
-		WireLen: netsim.HeaderBytes,
-		EchoECN: p.ECNMarked,
-	}
+	ack := r.net.NewPacket()
+	ack.Flow = r.f
+	ack.Type = netsim.Ack
+	ack.Seq = r.ivs.cumulative()
+	ack.WireLen = netsim.HeaderBytes
+	ack.EchoECN = p.ECNMarked
 	r.net.Hosts[r.f.DstHost].Send(ack)
 }
 

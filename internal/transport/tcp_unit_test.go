@@ -28,7 +28,7 @@ type nullRouter struct{}
 
 func (nullRouter) Name() string                { return "null" }
 func (nullRouter) RotorFlow(*netsim.Flow) bool { return false }
-func (nullRouter) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64) ([]netsim.PlannedHop, bool) {
+func (nullRouter) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
 	return nil, false // all packets die in the fabric; unit tests don't care
 }
 

@@ -118,6 +118,24 @@ func (s *intervalSet) add(start, end int64) int64 {
 	if end <= start {
 		return 0
 	}
+	// Fast paths for the cases that dominate a healthy flow — first packet,
+	// in-order tail extension, and duplicate of the tail — none of which
+	// need the merge scan or its allocation.
+	if n := len(s.ivs); n == 0 {
+		s.ivs = append(s.ivs, [2]int64{start, end})
+		return end - start
+	} else if last := &s.ivs[n-1]; start >= last[0] {
+		if end <= last[1] {
+			return 0 // fully contained in the tail interval
+		}
+		if start <= last[1] {
+			nb := end - last[1]
+			last[1] = end
+			return nb
+		}
+		s.ivs = append(s.ivs, [2]int64{start, end})
+		return end - start
+	}
 	newBytes := end - start
 	ns, ne := start, end
 	out := make([][2]int64, 0, len(s.ivs)+1)
