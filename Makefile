@@ -1,17 +1,28 @@
 # Standard checks for the UCMP reproduction. `make check` is what CI (and a
-# pre-commit run) should execute: vet, build, the full test suite, and the
-# race detector over the packages with intentional concurrency (the parallel
-# offline build in internal/core, the engine in internal/sim, and the
-# parallel trial runner in internal/harness).
+# pre-commit run) should execute: vet, staticcheck (when installed), build,
+# the full test suite, and the race detector over the packages with
+# intentional concurrency (the parallel offline build in internal/core, the
+# engine in internal/sim, and the parallel trial runner in internal/harness)
+# plus the wheel/heap differential tests, which are the determinism pin for
+# the timing-wheel scheduler.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-offline bench-netsim
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3
 
-check: vet build test race
+check: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (not vendored; CI installs it): the target
+# degrades to a notice when the binary is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,13 +32,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
-	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount' ./internal/harness
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap' ./internal/harness
 
 # bench regenerates the numbers tracked in results/BENCH_*.json: the offline
 # path-set build (results/BENCH_seed.json) and the netsim packet-path
-# benchmarks (results/BENCH_pr2.json). bench-netsim pipes through
-# cmd/benchjson, which emits the BENCH_*.json record format on stdout while
-# echoing the raw `go test` lines on stderr, so
+# benchmarks (results/BENCH_pr2.json, results/BENCH_pr3.json). bench-netsim
+# pipes through cmd/benchjson, which emits the BENCH_*.json record format on
+# stdout while echoing the raw `go test` lines on stderr, so
 #
 #	make -s bench-netsim > results/BENCH_new.json
 #
@@ -39,3 +50,15 @@ bench-offline:
 
 bench-netsim:
 	$(GO) test -run '^$$' -bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$' -benchmem ./internal/netsim | $(GO) run ./cmd/benchjson
+
+# bench-pr3 refreshes the timing-wheel record: it reruns the netsim hot-path
+# benchmarks, keeps the raw `go test` lines (benchstat input) in
+# results/bench_pr3_raw.txt, and writes results/BENCH_pr3.json with a
+# comparison against the recorded pre-wheel baseline on stderr.
+bench-pr3:
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$' \
+		-benchmem -benchtime 20x ./internal/netsim \
+		| tee results/bench_pr3_raw.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr2.json \
+			-method "GOMAXPROCS=1 make bench-pr3 (timing-wheel scheduler; baseline: results/BENCH_pr2.json)" \
+			> results/BENCH_pr3.json

@@ -8,6 +8,12 @@
 // piping does not hide the benchmark run. Standard ns/op, B/op and
 // allocs/op columns map to fixed fields; any custom metrics (events/s,
 // buckets, ...) land in the per-benchmark "metrics" object.
+//
+// With -compare OLD.json, a per-benchmark comparison against a previously
+// committed BENCH_*.json prints to stderr (stdout stays pure JSON). Both
+// the benchjson record format and the hand-merged before/after framing of
+// results/BENCH_pr2.json are understood; in the latter, the section whose
+// name contains "after" is the baseline.
 package main
 
 import (
@@ -42,6 +48,8 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	method := flag.String("method", "go test -bench via make bench (see Makefile)",
 		"provenance string recorded in the output")
+	compare := flag.String("compare", "",
+		"path to a previously committed BENCH_*.json; a comparison prints to stderr")
 	flag.Parse()
 
 	rep := report{Method: *method}
@@ -75,6 +83,109 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+
+	if *compare != "" {
+		if err := printComparison(*compare, rep.Benchmarks); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// oldBench is the per-benchmark shape shared by the benchjson record format
+// and the hand-merged sections of results/BENCH_pr2.json.
+type oldBench struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	EventsPerS  float64            `json:"events_per_s"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// loadBaseline reads a committed BENCH_*.json in either format and returns
+// benchmark name -> numbers.
+func loadBaseline(path string) (map[string]oldBench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Format 1: the benchjson report format.
+	var rep struct {
+		Benchmarks []struct {
+			Benchmark string `json:"benchmark"`
+			oldBench
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &rep); err == nil && len(rep.Benchmarks) > 0 {
+		out := map[string]oldBench{}
+		for _, b := range rep.Benchmarks {
+			ob := b.oldBench
+			if v, ok := ob.Metrics["events/s"]; ok && ob.EventsPerS == 0 {
+				ob.EventsPerS = v
+			}
+			out[b.Benchmark] = ob
+		}
+		return out, nil
+	}
+	// Format 2: hand-merged sections keyed by framing name, each mapping
+	// benchmark names to number objects. Prefer an "after" section.
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &sections); err != nil {
+		return nil, err
+	}
+	best := map[string]oldBench{}
+	bestIsAfter := false
+	for name, sec := range sections {
+		var benches map[string]json.RawMessage
+		if err := json.Unmarshal(sec, &benches); err != nil {
+			continue
+		}
+		found := map[string]oldBench{}
+		for bn, rawB := range benches {
+			var ob oldBench
+			if !strings.HasPrefix(bn, "Benchmark") {
+				continue // framing keys like "commit"
+			}
+			if err := json.Unmarshal(rawB, &ob); err != nil || ob.NsPerOp <= 0 {
+				continue
+			}
+			found[bn] = ob
+		}
+		if len(found) == 0 {
+			continue
+		}
+		isAfter := strings.Contains(name, "after")
+		if len(best) == 0 || (isAfter && !bestIsAfter) {
+			best, bestIsAfter = found, isAfter
+		}
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark numbers found in %s", path)
+	}
+	return best, nil
+}
+
+// printComparison renders old-vs-new per benchmark to stderr.
+func printComparison(path string, fresh []record) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "\ncomparison vs %s:\n", path)
+	for _, r := range fresh {
+		old, ok := base[r.Benchmark]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  %-24s (not in baseline)\n", r.Benchmark)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-24s ns/op %.0f -> %.0f (%.2fx)",
+			r.Benchmark, old.NsPerOp, r.NsPerOp, old.NsPerOp/r.NsPerOp)
+		if ev, ok := r.Metrics["events/s"]; ok && old.EventsPerS > 0 {
+			fmt.Fprintf(os.Stderr, ", events/s %.0f -> %.0f (%.2fx)",
+				old.EventsPerS, ev, ev/old.EventsPerS)
+		}
+		fmt.Fprintf(os.Stderr, ", allocs/op %d -> %d\n", old.AllocsPerOp, r.AllocsPerOp)
+	}
+	return nil
 }
 
 // parseBench decodes one result line: a name, an iteration count, then

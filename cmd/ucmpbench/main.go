@@ -59,10 +59,12 @@ func main() {
 		workersF  = flag.Int("workers", 0, "bound on the -parallel worker pool (0 = GOMAXPROCS)")
 		cpuProfF  = flag.String("cpuprofile", "", "write a CPU profile covering the selected exhibits to this file")
 		memProfF  = flag.String("memprofile", "", "write a heap profile taken after the selected exhibits to this file")
+		schedF    = flag.Bool("schedstats", false, "report per-exhibit scheduler internals (pending high-water, cascades, cancels) on stderr")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
 	harness.Workers = *workersF
+	harness.CollectSchedStats = *schedF
 
 	if *cpuProfF != "" {
 		f, err := os.Create(*cpuProfF)
@@ -118,11 +120,17 @@ func main() {
 		}
 		wall := time.Since(start).Seconds()
 		if events := harness.TakeEvents(); events > 0 {
-			fmt.Fprintf(os.Stderr, "(%s took %.1fs, %d sim events, %.2fM events/s)\n\n",
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs, %d sim events, %.2fM events/s)\n",
 				e, wall, events, float64(events)/wall/1e6)
 		} else {
-			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n\n", e, wall)
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", e, wall)
 		}
+		if *schedF {
+			s := harness.TakeSchedStats()
+			fmt.Fprintf(os.Stderr, "(%s sched: pending-hwm %d, cascades %d, overflow %d, cancels %d, dead-pops %d, chases %d)\n",
+				e, s.PendingHighWater, s.Cascades, s.OverflowPushes, s.Cancels, s.DeadPops, s.Chases)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ucmp/internal/sim"
+	"ucmp/internal/transport"
+)
+
+// fingerprint renders everything observable about a run — per-flow FCT
+// trace, the full counter set (packet-conservation ledger included),
+// event count, and fairness — as one string, so wheel/heap equivalence is
+// a bytewise comparison.
+func fingerprint(r *Result) string {
+	out := fmt.Sprintf("counters=%+v\nevents=%d\njain=%.12f\nefficiency=%.12f\nlaunched=%d\n",
+		r.Counters, r.Events, r.JainCumulative, r.Efficiency, r.Launched)
+	fl := append(r.Flows[:0:0], r.Flows...)
+	sort.Slice(fl, func(i, j int) bool { return fl[i].ID < fl[j].ID })
+	for _, f := range fl {
+		out += fmt.Sprintf("flow %d: sent=%d delivered=%d finished=%v at=%d\n",
+			f.ID, f.BytesSent, f.BytesDelivered, f.Finished, int64(f.FinishedAt))
+	}
+	return out
+}
+
+// TestDifferentialWheelHeap runs full packet-level simulations across
+// schemes and transports on both scheduler implementations and requires
+// byte-identical results. Transport timers (TCP RTO, NDP repair/pacer)
+// exercise the cancelable-timer path; the link-failure config exercises
+// rerouting; RotorLB exercises the uplink wake timer under backpressure.
+func TestDifferentialWheelHeap(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  SimConfig
+	}{
+		{"ucmp-dctcp", ScaledConfig(UCMP, transport.DCTCP, "websearch")},
+		{"ucmp-ndp", ScaledConfig(UCMP, transport.NDP, "websearch")},
+		{"vlb-rotor", ScaledConfig(VLB, transport.Rotor, "datamining")},
+		{"ksp5-dctcp", ScaledConfig(KSP5, transport.DCTCP, "websearch")},
+	}
+	// Keep runs short: determinism, not statistics, is under test.
+	for i := range cases {
+		cases[i].cfg.Duration = sim.Millisecond
+		cases[i].cfg.Seed = int64(7 + i)
+	}
+	// A failure scenario forces backup paths and retransmission timers.
+	failing := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	failing.Duration = sim.Millisecond
+	failing.Seed = 11
+	failing.LinkFailFrac = 0.15
+	cases = append(cases, struct {
+		name string
+		cfg  SimConfig
+	}{"ucmp-dctcp-failures", failing})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wcfg := tc.cfg
+			wcfg.Queue = sim.QueueWheel
+			wres, err := Run(wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hcfg := tc.cfg
+			hcfg.Queue = sim.QueueHeap
+			hres, err := Run(hcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wfp, hfp := fingerprint(wres), fingerprint(hres)
+			if wfp != hfp {
+				t.Fatalf("wheel and heap diverge:\n--- wheel ---\n%s\n--- heap ---\n%s", wfp, hfp)
+			}
+		})
+	}
+}

@@ -111,7 +111,7 @@ func runWithAlphaController(cfg SimConfig, target float64) (*Result, []alphaTrac
 	if err != nil {
 		return nil, nil, err
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineQueue(base.Queue)
 	ps := buildPathSetFor(fab, base)
 	router := newUCMPFor(ps, base)
 	qs := transport.QueueSpec(base.Transport)
@@ -154,6 +154,7 @@ func runWithAlphaController(cfg SimConfig, target float64) (*Result, []alphaTrac
 	}
 	eng.After(tick, control)
 	eng.Run(horizon)
+	recordSchedStats(eng)
 
 	return &Result{
 		Config:         base,

@@ -82,6 +82,10 @@ type SimConfig struct {
 	// LinkFailFrac fails that fraction of ToR-uplink cables physically and
 	// in the UCMP health checks (Fig 12d).
 	LinkFailFrac float64
+
+	// Queue selects the event-scheduler implementation (zero value: the
+	// timing wheel). The heap option exists for differential testing.
+	Queue sim.QueueKind
 }
 
 // ScaledConfig is the default fast configuration for one run.
@@ -132,7 +136,7 @@ func Run(cfg SimConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineQueue(cfg.Queue)
 
 	var router netsim.Router
 	var ucmpRouter *routing.UCMP
@@ -236,6 +240,7 @@ func Run(cfg SimConfig) (*Result, error) {
 	}
 	eng.Run(horizon)
 	eventsProcessed.Add(eng.Processed())
+	recordSchedStats(eng)
 
 	return &Result{
 		Config:         cfg,

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"sync"
+
+	"ucmp/internal/sim"
+)
+
+// CollectSchedStats enables scheduler-internals aggregation across runs
+// (pending high-water mark, wheel cascades, timer cancels). Off by default;
+// cmd/ucmpbench flips it with -schedstats.
+var CollectSchedStats = false
+
+var (
+	schedMu  sync.Mutex
+	schedAgg sim.SchedStats
+)
+
+// recordSchedStats folds one engine's scheduler internals into the
+// aggregate: counters sum across runs, the high-water mark takes the max.
+func recordSchedStats(eng *sim.Engine) {
+	if !CollectSchedStats {
+		return
+	}
+	s := eng.SchedStats()
+	schedMu.Lock()
+	if s.PendingHighWater > schedAgg.PendingHighWater {
+		schedAgg.PendingHighWater = s.PendingHighWater
+	}
+	schedAgg.Cascades += s.Cascades
+	schedAgg.OverflowPushes += s.OverflowPushes
+	schedAgg.Cancels += s.Cancels
+	schedAgg.DeadPops += s.DeadPops
+	schedAgg.Chases += s.Chases
+	schedMu.Unlock()
+}
+
+// TakeSchedStats returns the scheduler internals aggregated since the
+// previous call and resets the aggregate.
+func TakeSchedStats() sim.SchedStats {
+	schedMu.Lock()
+	s := schedAgg
+	schedAgg = sim.SchedStats{}
+	schedMu.Unlock()
+	return s
+}

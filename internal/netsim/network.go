@@ -107,6 +107,12 @@ type Network struct {
 	flowList []*Flow
 
 	pool packetPool
+
+	// Memoized serialization delays for the two wire lengths that cover
+	// nearly all traffic (full MTU frames and bare control headers), so the
+	// per-packet hot path skips the 64-bit division in SerializationDelay.
+	serMTU, serHdr     sim.Time
+	serUpMTU, serUpHdr sim.Time
 }
 
 // New wires up a network. Call Start before Run to arm the slice clock.
@@ -116,6 +122,10 @@ func New(eng *sim.Engine, f *topo.Fabric, router Router, up, down QueueSpec, rot
 		UpQueue: up, DownQueue: down, Rotor: rotor,
 		flows: make(map[int64]*Flow),
 	}
+	n.serMTU = f.SerializationDelay(f.MTU)
+	n.serHdr = f.SerializationDelay(HeaderBytes)
+	n.serUpMTU = f.UplinkSerialization(f.MTU)
+	n.serUpHdr = f.UplinkSerialization(HeaderBytes)
 	n.ToRs = make([]*ToR, f.NumToRs)
 	for i := range n.ToRs {
 		n.ToRs[i] = newToR(n, i)
@@ -141,8 +151,14 @@ func (n *Network) Start() {
 func (n *Network) sliceBoundary() {
 	now := n.Eng.Now()
 	abs := n.F.AbsSlice(now)
+	// The cyclic index of the just-ended slice is computed once here rather
+	// than per ToR (it is the same for all of them).
+	expired := -1
+	if abs > 0 {
+		expired = n.F.CyclicSlice(abs - 1)
+	}
 	for _, tor := range n.ToRs {
-		tor.onSliceStart(abs)
+		tor.onSliceStart(abs, expired)
 	}
 	n.Eng.At(n.F.SliceStart(abs+1), n.sliceBoundary)
 }
@@ -265,12 +281,24 @@ func (n *Network) downRoom(dstHost int) bool {
 
 // serdelay is the serialization delay of a packet on a host-facing link.
 func (n *Network) serdelay(wireLen int) sim.Time {
+	switch wireLen {
+	case n.F.MTU:
+		return n.serMTU
+	case HeaderBytes:
+		return n.serHdr
+	}
 	return n.F.SerializationDelay(wireLen)
 }
 
 // serdelayUp is the serialization delay on a circuit uplink (the §8
 // testbed oversubscribes uplinks).
 func (n *Network) serdelayUp(wireLen int) sim.Time {
+	switch wireLen {
+	case n.F.MTU:
+		return n.serUpMTU
+	case HeaderBytes:
+		return n.serUpHdr
+	}
 	return n.F.UplinkSerialization(wireLen)
 }
 

@@ -182,12 +182,26 @@ type uplinkPort struct {
 	busyUntil sim.Time
 	meter     byteMeter
 
-	pumpFn func()
+	// wake coalesces the port's self-wakeups (circuit-open waits, rotor
+	// backpressure retries, post-send re-arms) into one cancelable timer,
+	// where the heap engine used to accumulate a duplicate pump event per
+	// call while a circuit was closed.
+	wake *sim.Timer
+
+	// Cached per-slice state, valid while now < sliceEnd. Keyed on the
+	// time window — not on the slice-boundary callback, which can run
+	// after same-instant smaller-seq events — so every pump sees exactly
+	// what recomputing from `now` would yield, at the cost of one compare.
+	sliceEnd  sim.Time // exclusive; zero forces a refresh on first pump
+	sliceOpen sim.Time
+	sliceAbs  int64
+	sliceC    int
+	slicePeer int
 }
 
 func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
 	u := &uplinkPort{net: n, tor: tor, sw: sw}
-	u.pumpFn = u.pump
+	u.wake = n.Eng.NewTimer(u.pump)
 	u.cal = make([]Queue, n.F.Sched.S)
 	for i := range u.cal {
 		u.cal[i].MaxDataPackets = n.UpQueue.MaxDataPackets
@@ -197,34 +211,67 @@ func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
 	return u
 }
 
-// circuitOpen returns the first instant within the absolute slice at which
-// this port's circuit carries traffic (reconfiguration delay applied).
-func (u *uplinkPort) circuitOpen(abs int64) sim.Time {
-	start := u.net.F.SliceStart(abs)
-	if u.net.F.Sched.ReconfiguresAt(u.net.F.CyclicSlice(abs), u.sw) {
-		start += u.net.F.ReconfDelay
+// refreshSlice recomputes the cached slice state for the slice containing
+// now, including the circuit-open instant (slice start, pushed back by the
+// reconfiguration delay when this switch reconfigures into the slice).
+// Ports are pumped at every slice boundary, so the refresh almost always
+// advances by exactly one slice and the divisions in AbsSlice/CyclicSlice
+// reduce to an increment; the cold path covers the first pump and jumps
+// across multiple slices.
+func (u *uplinkPort) refreshSlice(now sim.Time) {
+	f := u.net.F
+	var start sim.Time
+	if u.sliceEnd != 0 && now < u.sliceEnd+f.SliceDuration {
+		u.sliceAbs++
+		start = u.sliceEnd
+		if u.sliceC++; u.sliceC == f.Sched.S {
+			u.sliceC = 0
+		}
+	} else {
+		u.sliceAbs = f.AbsSlice(now)
+		start = f.SliceStart(u.sliceAbs)
+		u.sliceC = f.CyclicSlice(u.sliceAbs)
 	}
-	return start
+	u.sliceEnd = start + f.SliceDuration
+	u.sliceOpen = start
+	if f.Sched.ReconfiguresAt(u.sliceC, u.sw) {
+		u.sliceOpen += f.ReconfDelay
+	}
+	u.slicePeer = f.Sched.PeerOf(u.sliceC, u.tor.id, u.sw)
+}
+
+// wakeAt arms the port's wake timer at t unless an earlier wakeup is
+// already pending. Every pump path that still has work re-declares its
+// wakeup, so earliest-wins coalescing never loses one.
+func (u *uplinkPort) wakeAt(t sim.Time) {
+	if !u.wake.Armed() || u.wake.When() > t {
+		u.wake.Reset(t)
+	}
 }
 
 // pump transmits at most one packet and re-arms itself. It is idempotent:
-// extra scheduled pumps are harmless.
+// extra pump calls are harmless.
 func (u *uplinkPort) pump() {
 	now := u.net.Eng.Now()
 	if now < u.busyUntil {
+		// An early wakeup (e.g. a rotor retry) landed mid-serialization:
+		// re-arm for when the port frees up.
+		u.wakeAt(u.busyUntil)
 		return
 	}
 	if u.net.LinkDown != nil && u.net.LinkDown(u.tor.id, u.sw) {
 		return
 	}
-	abs := u.net.F.AbsSlice(now)
-	c := u.net.F.CyclicSlice(abs)
-	if open := u.circuitOpen(abs); now < open {
-		u.net.Eng.At(open, u.pumpFn)
+	if now >= u.sliceEnd {
+		u.refreshSlice(now)
+	}
+	c := u.sliceC
+	if now < u.sliceOpen {
+		u.wakeAt(u.sliceOpen)
 		return
 	}
-	peer := u.net.F.Sched.PeerOf(c, u.tor.id, u.sw)
-	end := u.net.F.SliceEnd(abs)
+	peer := u.slicePeer
+	end := u.sliceEnd
 
 	// Scheduled (calendar) traffic first, then RotorLB traffic.
 	q := &u.cal[c]
@@ -242,7 +289,7 @@ func (u *uplinkPort) pump() {
 			// Blocked on final-hop backpressure: retry within the slice.
 			retry := now + u.net.serdelayUp(u.net.F.MTU)
 			if retry < end {
-				u.net.Eng.At(retry, u.pumpFn)
+				u.wakeAt(retry)
 			}
 			return
 		}
@@ -256,7 +303,7 @@ func (u *uplinkPort) pump() {
 	u.net.Counters.TorToTorBytes += int64(p.WireLen)
 	dst := u.net.ToRs[peer]
 	u.net.Eng.At1(now+ser+u.net.F.PropDelay, dst.recvPeerFn, p)
-	u.net.Eng.At(u.busyUntil, u.pumpFn)
+	u.wakeAt(u.busyUntil)
 }
 
 // queuedBytes reports the data bytes parked across all calendar queues.

@@ -25,6 +25,13 @@ type rotorState struct {
 	nonlocalBytes []int64
 	totalNonlocal int64
 
+	// localPkts/nonlocalPkts count queued packets across all VOQs, so the
+	// uplink pump's per-slice probing (selectPacket, backlogFor) costs one
+	// compare when the rotor is idle — which is always, for non-VLB
+	// transports that still instantiate the rotor machinery.
+	localPkts    int
+	nonlocalPkts int
+
 	// waiters are one-shot host callbacks awaiting local-VOQ credit.
 	waiters [][]func()
 
@@ -51,6 +58,7 @@ func (r *rotorState) pushLocal(p *Packet) {
 	dst := p.DstToR
 	r.local[dst].push(p)
 	r.localBytes[dst] += int64(p.WireLen)
+	r.localPkts++
 	r.tor.pumpFor(dst) // direct circuit may be up right now
 	// Any circuit can carry it indirectly; kick all ports so spare slice
 	// capacity is used promptly.
@@ -65,6 +73,7 @@ func (r *rotorState) pushNonlocal(p *Packet) {
 	r.nonlocal[dst].push(p)
 	r.nonlocalBytes[dst] += int64(p.WireLen)
 	r.totalNonlocal += int64(p.WireLen)
+	r.nonlocalPkts++
 	r.tor.pumpFor(dst)
 }
 
@@ -77,6 +86,9 @@ func (r *rotorState) pushNonlocal(p *Packet) {
 // which this occupancy check stands in for (rotor traffic has no
 // retransmission).
 func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
+	if r.localPkts == 0 && r.nonlocalPkts == 0 {
+		return nil
+	}
 	fits := func(wireLen int) bool {
 		return r.tor.net.serdelayUp(wireLen) <= budget
 	}
@@ -90,6 +102,7 @@ func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
 			r.nonlocal[peer].pop()
 			r.nonlocalBytes[peer] -= int64(p.WireLen)
 			r.totalNonlocal -= int64(p.WireLen)
+			r.nonlocalPkts--
 			return p
 		}
 	}
@@ -133,6 +146,9 @@ func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
 // backlogFor reports whether traffic for a final hop toward peer is parked
 // here (used to retry after final-hop backpressure).
 func (r *rotorState) backlogFor(peer int) bool {
+	if r.localPkts == 0 && r.nonlocalPkts == 0 {
+		return false
+	}
 	return r.nonlocal[peer].len() > 0 || r.local[peer].len() > 0
 }
 
@@ -140,6 +156,7 @@ func (r *rotorState) backlogFor(peer int) bool {
 // blocked on credit.
 func (r *rotorState) creditLocal(dst int, p *Packet) {
 	r.localBytes[dst] -= int64(p.WireLen)
+	r.localPkts--
 	if r.localBytes[dst] < r.tor.net.Rotor.LocalCapBytes && len(r.waiters[dst]) > 0 {
 		ws := r.waiters[dst]
 		r.waiters[dst] = nil

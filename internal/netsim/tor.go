@@ -52,10 +52,9 @@ func (t *ToR) ID() int { return t.id }
 // onSliceStart expires the calendar queues of the slice that just ended —
 // every packet still parked there missed its circuit and is recirculated
 // with this ToR as its new source (§6.3) — then kicks the pumps for the new
-// slice.
-func (t *ToR) onSliceStart(abs int64) {
-	if abs > 0 {
-		expired := t.net.F.CyclicSlice(abs - 1)
+// slice. expired is the cyclic index of the previous slice, -1 at slice 0.
+func (t *ToR) onSliceStart(abs int64, expired int) {
+	if expired >= 0 {
 		for _, u := range t.up {
 			for {
 				p := u.cal[expired].Dequeue()

@@ -102,9 +102,6 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 // the group (same-length first, then other lengths).
 func (u *UCMP) pickHealthy(g *core.Group, bucket int, hash uint64) *core.Path {
 	want := u.Ager.EntryForBucket(g, bucket)
-	if u.PathOK == nil {
-		return want.Paths[hash%uint64(len(want.Paths))]
-	}
 	if p := healthyOf(want.Paths, hash, u.PathOK); p != nil {
 		return p
 	}
@@ -120,12 +117,18 @@ func (u *UCMP) pickHealthy(g *core.Group, bucket int, hash uint64) *core.Path {
 	return nil
 }
 
+// healthyOf returns the hash-selected healthy path, or nil when paths is
+// empty (a failure scenario can empty an entry) or every path is unhealthy.
+// A nil ok accepts every path.
 func healthyOf(paths []*core.Path, hash uint64, ok func(*core.Path) bool) *core.Path {
 	n := len(paths)
+	if n == 0 {
+		return nil
+	}
 	start := int(hash % uint64(n))
 	for i := 0; i < n; i++ {
 		p := paths[(start+i)%n]
-		if ok(p) {
+		if ok == nil || ok(p) {
 			return p
 		}
 	}

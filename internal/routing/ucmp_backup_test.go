@@ -1,0 +1,91 @@
+package routing
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+)
+
+// TestUCMPBackupFallback exercises the §5.3 backup path: when failure
+// filtering rejects every group path, PlanRoute must fall back to a 2-hop
+// backup whose intermediate honors TorOK.
+func TestUCMPBackupFallback(t *testing.T) {
+	f := fabric(t)
+	u := NewUCMP(core.BuildPathSet(f, 0.5))
+	// Reject every precomputed group path: the group is effectively
+	// exhausted for all (src, dst), forcing the backup machinery.
+	u.PathOK = func(p *core.Path) bool { return false }
+	badToR := 3
+	u.TorOK = func(tor int) bool { return tor != badToR }
+
+	routed := 0
+	for src := 0; src < f.NumToRs; src++ {
+		for dst := 0; dst < f.NumToRs; dst++ {
+			if src == dst || src == badToR || dst == badToR {
+				continue
+			}
+			for fromAbs := int64(0); fromAbs < 3; fromAbs++ {
+				p := dataPacket(f, src, dst, 1<<20)
+				hops, ok := u.PlanRoute(p, src, 0, fromAbs, nil)
+				if !ok {
+					continue
+				}
+				routed++
+				validRoute(t, f, src, dst, fromAbs, hops)
+				if len(hops) != 2 {
+					t.Fatalf("backup path %d->%d has %d hops, want 2", src, dst, len(hops))
+				}
+				if mid := hops[0].To; mid == badToR {
+					t.Fatalf("backup %d->%d relays via excluded ToR %d", src, dst, badToR)
+				}
+			}
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no backup routes planned at all")
+	}
+}
+
+// TestUCMPNoBackupReturnsFalse pins the clean-failure contract: with every
+// group path unhealthy and every intermediate ToR excluded, PlanRoute must
+// report failure rather than panic or emit a bogus route.
+func TestUCMPNoBackupReturnsFalse(t *testing.T) {
+	f := fabric(t)
+	u := NewUCMP(core.BuildPathSet(f, 0.5))
+	u.PathOK = func(p *core.Path) bool { return false }
+	u.TorOK = func(tor int) bool { return false }
+	for src := 0; src < f.NumToRs; src++ {
+		for dst := 0; dst < f.NumToRs; dst++ {
+			if src == dst {
+				continue
+			}
+			p := dataPacket(f, src, dst, 1<<20)
+			if hops, ok := u.PlanRoute(p, src, 0, 0, nil); ok {
+				t.Fatalf("%d->%d planned %v with all paths and relays excluded", src, dst, hops)
+			}
+		}
+	}
+}
+
+// TestHealthyOfEmpty pins the div-by-zero guard: an entry emptied by
+// failure filtering must yield nil, not a modulo panic.
+func TestHealthyOfEmpty(t *testing.T) {
+	if p := healthyOf(nil, 12345, nil); p != nil {
+		t.Fatalf("healthyOf(nil) = %v, want nil", p)
+	}
+	if p := healthyOf([]*core.Path{}, 7, func(*core.Path) bool { return true }); p != nil {
+		t.Fatalf("healthyOf(empty) = %v, want nil", p)
+	}
+}
+
+// TestHealthyOfNilOK pins that a nil health predicate accepts the
+// hash-selected path, matching the pre-guard fast path.
+func TestHealthyOfNilOK(t *testing.T) {
+	paths := []*core.Path{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+	for hash := uint64(0); hash < 9; hash++ {
+		want := paths[hash%3]
+		if got := healthyOf(paths, hash, nil); got != want {
+			t.Fatalf("healthyOf(hash=%d) = %v, want %v", hash, got, want)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 // Determinism: events scheduled for the same instant fire in the order they
 // were scheduled (FIFO tie-breaking via a monotonic sequence number), so a
 // simulation run is reproducible bit-for-bit given the same inputs and seed.
+//
+// Two scheduler implementations back an Engine: a hierarchical timing wheel
+// (the default — amortized O(1) schedule/pop, see wheel.go) and the
+// reference binary heap (heap.go), kept behind NewEngineQueue for
+// differential testing. Both honor the same (at, seq) contract, pinned by
+// the randomized differential tests in this package and in
+// internal/harness.
 package sim
 
 import (
@@ -14,6 +21,9 @@ import (
 
 // Time is a simulated instant in nanoseconds since the start of the run.
 type Time int64
+
+// maxTime is the RunAll horizon: later than any schedulable event.
+const maxTime = Time(1<<63 - 1)
 
 // Duration aliases for readable configuration.
 const (
@@ -43,105 +53,90 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros returns the time as a float64 number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
-// event is a scheduled callback: either a plain closure (fn) or a
-// pre-bound handler with an argument (fn1/arg). The two-field form exists
-// for the packet hot path: a port can schedule "deliver packet p" with a
-// function value created once at construction time, so the steady-state
-// event loop allocates nothing (a *Packet stored in an interface does not
-// escape to the heap).
+// event is a scheduled callback: a plain closure (fn), a pre-bound handler
+// with an argument (fn1/arg), or a cancelable timer occurrence (arg holds
+// the *Timer, tgen the timer generation it was scheduled under). The
+// two-field form exists for the packet hot path: a port can schedule
+// "deliver packet p" with a function value created once at construction
+// time, so the steady-state event loop allocates nothing (a *Packet stored
+// in an interface does not escape to the heap).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	fn1 func(any)
-	arg any
+	at   Time
+	seq  uint64
+	tgen uint64
+	fn   func()
+	fn1  func(any)
+	arg  any
 }
 
-// call dispatches the event's callback.
-func (ev *event) call() {
-	if ev.fn1 != nil {
-		ev.fn1(ev.arg)
-		return
-	}
-	ev.fn()
-}
+// QueueKind selects the scheduler implementation backing an Engine.
+type QueueKind int
 
-// eventHeap is a typed min-heap ordered by (at, seq). It hand-rolls sift-up
-// and sift-down instead of using container/heap: the interface{}-based API
-// boxes every event on push (one heap allocation per scheduled event) and
-// pays dynamic dispatch per comparison, which dominated the event-loop
-// profile. The typed version schedules with zero allocations once the
-// backing array has grown to the simulation's high-water mark.
-type eventHeap []event
+const (
+	// QueueWheel is the hierarchical timing wheel (default): amortized
+	// O(1) schedule/pop with zero steady-state allocations.
+	QueueWheel QueueKind = iota
+	// QueueHeap is the reference binary heap, kept for differential
+	// testing and as a fallback.
+	QueueHeap
+)
 
-// less orders events by time, then by scheduling order (FIFO tie-break).
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-// push inserts ev, restoring the heap invariant by sifting it up.
-func (h *eventHeap) push(ev event) {
-	q := append(*h, ev)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
-	}
-	*h = q
-}
-
-// pop removes and returns the minimum event. The vacated tail slot is
-// cleared so the heap does not pin the popped callback's closure.
-func (h *eventHeap) pop() event {
-	q := *h
-	n := len(q) - 1
-	ev := q[0]
-	q[0] = q[n]
-	q[n] = event{}
-	q = q[:n]
-	*h = q
-	// Sift the relocated tail element down to its place.
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		child := left
-		if right := left + 1; right < n && q.less(right, left) {
-			child = right
-		}
-		if !q.less(child, i) {
-			break
-		}
-		q[i], q[child] = q[child], q[i]
-		i = child
-	}
-	return ev
+// SchedStats exposes scheduler internals for throughput diagnostics
+// (cmd/ucmpbench -schedstats).
+type SchedStats struct {
+	// PendingHighWater is the maximum number of queued events observed.
+	PendingHighWater int
+	// Cascades counts events re-distributed from a higher wheel level into
+	// a lower one (zero on the heap engine).
+	Cascades uint64
+	// OverflowPushes counts events scheduled beyond the wheel horizon into
+	// the overflow heap (zero on the heap engine).
+	OverflowPushes uint64
+	// Cancels counts Timer.Cancel calls that disarmed a live timer.
+	Cancels uint64
+	// DeadPops counts queued timer events discarded by lazy deletion
+	// (canceled or superseded by an earlier Reset).
+	DeadPops uint64
+	// Chases counts timer events that surfaced before their slid deadline
+	// and re-armed themselves at the new one.
+	Chases uint64
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; a simulation is a sequential program over virtual time.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now   Time
+	seq   uint64
+	wheel *timingWheel // nil when the heap backs the engine
+	heap  eventHeap
 	// processed counts events executed, exposed for tests and throughput
-	// reporting.
+	// reporting. Lazily-deleted timer events do not count: no callback ran.
 	processed uint64
 	stopped   bool
+	stats     SchedStats
 }
 
-// NewEngine returns an engine positioned at time zero.
-func NewEngine() *Engine {
-	return &Engine{events: make(eventHeap, 0, 1024)}
+// NewEngine returns an engine positioned at time zero, backed by the
+// timing wheel.
+func NewEngine() *Engine { return NewEngineQueue(QueueWheel) }
+
+// NewEngineQueue returns an engine backed by the given scheduler.
+func NewEngineQueue(kind QueueKind) *Engine {
+	e := &Engine{}
+	if kind == QueueHeap {
+		e.heap = make(eventHeap, 0, 1024)
+	} else {
+		e.wheel = newTimingWheel()
+	}
+	return e
+}
+
+// Queue reports which scheduler backs the engine.
+func (e *Engine) Queue() QueueKind {
+	if e.wheel != nil {
+		return QueueWheel
+	}
+	return QueueHeap
 }
 
 // Now returns the current virtual time.
@@ -150,8 +145,47 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events waiting in the queue, including
+// lazily-deleted timer events that have not surfaced yet.
+func (e *Engine) Pending() int {
+	if e.wheel != nil {
+		return e.wheel.size
+	}
+	return len(e.heap)
+}
+
+// SchedStats returns scheduler internals accumulated since construction.
+func (e *Engine) SchedStats() SchedStats {
+	s := e.stats
+	if e.wheel != nil {
+		s.Cascades = e.wheel.cascades
+		s.OverflowPushes = e.wheel.overflowPushes
+	}
+	return s
+}
+
+// push inserts an event into whichever queue backs the engine.
+func (e *Engine) push(ev event) {
+	if e.wheel != nil {
+		e.wheel.push(ev)
+	} else {
+		e.heap.push(ev)
+	}
+	if p := e.Pending(); p > e.stats.PendingHighWater {
+		e.stats.PendingHighWater = p
+	}
+}
+
+// popLE removes and returns the minimum event if its time is <= limit.
+func (e *Engine) popLE(limit Time) (event, bool) {
+	if e.wheel != nil {
+		return e.wheel.popLE(limit)
+	}
+	if len(e.heap) == 0 || e.heap[0].at > limit {
+		return event{}, false
+	}
+	return e.heap.pop(), true
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a logic error in a discrete-event model.
@@ -160,7 +194,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -174,7 +208,7 @@ func (e *Engine) At1(t Time, fn func(any), arg any) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn1: fn, arg: arg})
+	e.push(event{at: t, seq: e.seq, fn1: fn, arg: arg})
 }
 
 // After1 schedules fn(arg) d nanoseconds from now.
@@ -183,20 +217,35 @@ func (e *Engine) After1(d Time, fn func(any), arg any) { e.At1(e.now+d, fn, arg)
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// dispatch runs the event's callback, reporting whether one actually ran
+// (lazily-deleted timer events surface here and are discarded).
+func (e *Engine) dispatch(ev *event) bool {
+	if ev.fn != nil {
+		ev.fn()
+		return true
+	}
+	if ev.fn1 != nil {
+		ev.fn1(ev.arg)
+		return true
+	}
+	return ev.arg.(*Timer).fire(ev.tgen)
+}
+
 // Run executes events in timestamp order until the queue is empty or the
 // next event is strictly after `until`. It returns the virtual time reached:
 // `until` if the horizon was hit, otherwise the time of the last event.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > until {
+	for e.Pending() > 0 && !e.stopped {
+		ev, ok := e.popLE(until)
+		if !ok {
 			e.now = until
 			return e.now
 		}
-		ev := e.events.pop()
 		e.now = ev.at
-		e.processed++
-		ev.call()
+		if e.dispatch(&ev) {
+			e.processed++
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -207,11 +256,15 @@ func (e *Engine) Run(until Time) Time {
 // RunAll executes every pending event regardless of horizon.
 func (e *Engine) RunAll() Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := e.events.pop()
+	for e.Pending() > 0 && !e.stopped {
+		ev, ok := e.popLE(maxTime)
+		if !ok {
+			break
+		}
 		e.now = ev.at
-		e.processed++
-		ev.call()
+		if e.dispatch(&ev) {
+			e.processed++
+		}
 	}
 	return e.now
 }

@@ -179,12 +179,25 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 }
 
 // TestEnginePushDuringPopStress interleaves heavy same-instant scheduling
-// with callbacks that schedule more work while the heap is being drained —
-// the access pattern the hand-rolled sift-up/sift-down must survive. The
-// observed execution order is checked against the (at, seq) contract: times
-// never decrease, and within one instant events fire in scheduling order.
+// with callbacks that schedule more work while the queue is being drained —
+// the access pattern both schedulers must survive. The observed execution
+// order is checked against the (at, seq) contract: times never decrease,
+// and within one instant events fire in scheduling order.
 func TestEnginePushDuringPopStress(t *testing.T) {
-	e := NewEngine()
+	for _, kind := range []QueueKind{QueueWheel, QueueHeap} {
+		t.Run(queueName(kind), func(t *testing.T) { pushDuringPopStress(t, kind) })
+	}
+}
+
+func queueName(kind QueueKind) string {
+	if kind == QueueHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+func pushDuringPopStress(t *testing.T, kind QueueKind) {
+	e := NewEngineQueue(kind)
 	rng := rand.New(rand.NewSource(42))
 	type obs struct {
 		at  Time

@@ -92,9 +92,8 @@ type ndpReceiver struct {
 	// one-pull-per-arrival.
 	pacer *pullPacer
 
-	rto       sim.Time
-	lastHeard sim.Time
-	repairFn  func() // repairTick pre-bound, re-armed once per RTO
+	rto    sim.Time
+	repair *sim.Timer // idle-repair deadline, slid on every arrival
 }
 
 func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
@@ -103,34 +102,34 @@ func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
 		net: stack.Net, f: f, host: host, ivs: &intervalSet{},
 		pacer: stack.pacer(f.DstHost), rto: stack.rto(),
 	}
-	r.repairFn = r.repairTick
+	r.repair = stack.Net.Eng.NewTimer(r.repairTick)
 	return r
 }
 
-// armRepair schedules the idle-repair check.
+// armRepair slides the idle-repair deadline one RTO out; the timer only
+// fires after the flow has been quiet that long.
 func (r *ndpReceiver) armRepair() {
 	if r.f.Finished {
+		r.repair.Cancel()
 		return
 	}
-	r.net.Eng.After(r.rto, r.repairFn)
+	r.repair.Reset(r.net.Eng.Now() + r.rto)
 }
 
-// repairTick NACKs missing chunks if the flow has gone quiet.
+// repairTick NACKs missing chunks once the flow has gone quiet for an RTO.
 func (r *ndpReceiver) repairTick() {
 	if r.f.Finished {
 		return
 	}
-	if r.net.Eng.Now()-r.lastHeard >= r.rto {
-		budget := 16
-		for _, hole := range r.ivs.holes(budget, r.f.Size) {
-			for seq := hole[0]; seq < hole[1] && budget > 0; seq += MSS {
-				r.sendNack(seq)
-				r.pacer.request(r)
-				budget--
-			}
-			if budget == 0 {
-				break
-			}
+	budget := 16
+	for _, hole := range r.ivs.holes(budget, r.f.Size) {
+		for seq := hole[0]; seq < hole[1] && budget > 0; seq += MSS {
+			r.sendNack(seq)
+			r.pacer.request(r)
+			budget--
+		}
+		if budget == 0 {
+			break
 		}
 	}
 	r.armRepair()
@@ -141,7 +140,7 @@ func (r *ndpReceiver) Deliver(p *netsim.Packet) {
 	if p.Type != netsim.Data || r.f.Finished {
 		return
 	}
-	r.lastHeard = r.net.Eng.Now()
+	r.armRepair()
 	if p.Trimmed {
 		r.sendNack(p.Seq)
 		r.pacer.request(r)
@@ -150,6 +149,7 @@ func (r *ndpReceiver) Deliver(p *netsim.Packet) {
 	newBytes := r.ivs.add(p.Seq, p.Seq+int64(p.PayloadLen))
 	r.net.RecordDelivered(r.f, newBytes)
 	if r.f.Finished {
+		r.repair.Cancel()
 		return
 	}
 	// One pull credit per arrival: the sender emits exactly one segment
@@ -186,14 +186,14 @@ type pullPacer struct {
 	queue    []*ndpReceiver
 	qhead    int
 	nextFree sim.Time
-	drainFn  func()
+	timer    *sim.Timer // next drain, armed whenever the queue is non-empty
 }
 
 func (s *Stack) pacer(host int) *pullPacer {
 	p, ok := s.pacers[host]
 	if !ok {
 		p = &pullPacer{net: s.Net, host: host}
-		p.drainFn = p.drain
+		p.timer = s.Net.Eng.NewTimer(p.drain)
 		s.pacers[host] = p
 	}
 	return p
@@ -207,6 +207,12 @@ func (p *pullPacer) request(r *ndpReceiver) {
 func (p *pullPacer) drain() {
 	now := p.net.Eng.Now()
 	if now < p.nextFree {
+		// Still serializing the previous pull. Make sure a drain is armed:
+		// a request can arrive in this window with no event outstanding
+		// (the queue had emptied before nextFree passed).
+		if p.qhead < len(p.queue) {
+			p.timer.Reset(p.nextFree)
+		}
 		return
 	}
 	if p.qhead >= len(p.queue) {
@@ -224,6 +230,6 @@ func (p *pullPacer) drain() {
 	gap := p.net.F.SerializationDelay(MSS + netsim.HeaderBytes)
 	p.nextFree = now + gap
 	if p.qhead < len(p.queue) {
-		p.net.Eng.At(p.nextFree, p.drainFn)
+		p.timer.Reset(p.nextFree)
 	}
 }

@@ -31,14 +31,10 @@ type tcpSender struct {
 	markedBytes int64
 	windowEnd   int64
 
-	// RTO machinery: a sliding deadline and at most one outstanding engine
-	// event (re-armed at fire time if the deadline moved), so acking does
-	// not allocate a timer closure per packet.
-	deadline    sim.Time
-	timerArmed  bool // deadline is meaningful
-	timerQueued bool // an engine event is outstanding
-	timeoutFn   func()
-	lastReduc   int64 // sndUna at the last window reduction (one cut per RTT)
+	// rtoT is the retransmission timer. sim.Timer already coalesces
+	// deadline slides into a single queued event, so acking neither
+	// allocates nor enqueues in steady state.
+	rtoT *sim.Timer
 }
 
 const dctcpG = 1.0 / 16
@@ -51,7 +47,7 @@ func newTCPSender(n *netsim.Network, f *netsim.Flow, dctcp bool, rto sim.Time) *
 		ssthresh: 1 << 30,
 		alpha:    1,
 	}
-	s.timeoutFn = s.onTimeout
+	s.rtoT = n.Eng.NewTimer(s.onTimeout)
 	return s
 }
 
@@ -153,32 +149,18 @@ func (s *tcpSender) fastRetransmit() {
 	s.armTimer()
 }
 
-// armTimer (re)sets the retransmission timer by pushing the deadline out.
-// The single outstanding engine event fires at some past deadline and either
-// re-arms itself at the current one or acts — equivalent to scheduling a
-// fresh timer per ACK without the per-ACK closure.
+// armTimer (re)sets the retransmission timer, or cancels it once all data
+// is acked.
 func (s *tcpSender) armTimer() {
 	if s.sndUna >= s.f.Size || s.f.Finished {
-		s.timerArmed = false
+		s.rtoT.Cancel()
 		return
 	}
-	s.deadline = s.net.Eng.Now() + s.rto
-	s.timerArmed = true
-	if !s.timerQueued {
-		s.timerQueued = true
-		s.net.Eng.At(s.deadline, s.timeoutFn)
-	}
+	s.rtoT.Reset(s.net.Eng.Now() + s.rto)
 }
 
 func (s *tcpSender) onTimeout() {
-	s.timerQueued = false
-	if !s.timerArmed || s.f.Finished || s.sndUna >= s.f.Size {
-		return
-	}
-	if s.net.Eng.Now() < s.deadline {
-		// The deadline moved since this event was scheduled: chase it.
-		s.timerQueued = true
-		s.net.Eng.At(s.deadline, s.timeoutFn)
+	if s.f.Finished || s.sndUna >= s.f.Size {
 		return
 	}
 	// Go-back-N: restart from the first unacked byte.
