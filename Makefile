@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4
 
 check: vet staticcheck build test race
 
@@ -32,7 +32,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
-	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap' ./internal/harness
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestShardableGate' ./internal/harness
 
 # bench regenerates the numbers tracked in results/BENCH_*.json: the offline
 # path-set build (results/BENCH_seed.json) and the netsim packet-path
@@ -62,3 +62,20 @@ bench-pr3:
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr2.json \
 			-method "GOMAXPROCS=1 make bench-pr3 (timing-wheel scheduler; baseline: results/BENCH_pr2.json)" \
 			> results/BENCH_pr3.json
+
+# bench-pr4 refreshes the sharded-engine record: the serial hot-path
+# benchmarks (gated at 10% regression against the pre-sharding baseline in
+# results/BENCH_pr3.json) plus the 64-ToR permutation in both serial and
+# sharded form. GOMAXPROCS is pinned to 1 for run-to-run stability of the
+# serial gate; the Saturation64Sharded number under GOMAXPROCS=1 therefore
+# measures sharding *overhead*, not speedup — see DESIGN.md §10 for the
+# multi-core exhibit. BENCHTIME trades precision for wall clock.
+BENCHTIME ?= 20x
+bench-pr4:
+	GOMAXPROCS=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$|BenchmarkSaturation64$$|BenchmarkSaturation64Sharded$$' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/netsim \
+		| tee results/bench_pr4_raw.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr3.json -maxregress 0.10 \
+			-method "GOMAXPROCS=1 make bench-pr4 (sharded conservative-PDES engine; baseline: results/BENCH_pr3.json; single-core container, so Saturation64Sharded records overhead, not speedup)" \
+			> results/BENCH_pr4.json

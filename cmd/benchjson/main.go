@@ -14,6 +14,11 @@
 // the benchjson record format and the hand-merged before/after framing of
 // results/BENCH_pr2.json are understood; in the latter, the section whose
 // name contains "after" is the baseline.
+//
+// -maxregress F (with -compare) turns the comparison into a gate: the exit
+// status is non-zero when any benchmark present in the baseline regressed
+// by more than the fraction F — events/s when both sides report it, ns/op
+// otherwise. CI uses `-compare results/BENCH_pr3.json -maxregress 0.10`.
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 		"provenance string recorded in the output")
 	compare := flag.String("compare", "",
 		"path to a previously committed BENCH_*.json; a comparison prints to stderr")
+	maxRegress := flag.Float64("maxregress", 0,
+		"with -compare: exit non-zero when any benchmark regressed by more than this fraction")
 	flag.Parse()
 
 	rep := report{Method: *method}
@@ -85,8 +92,14 @@ func main() {
 	fmt.Println(string(out))
 
 	if *compare != "" {
-		if err := printComparison(*compare, rep.Benchmarks); err != nil {
+		regressed, err := printComparison(*compare, rep.Benchmarks, *maxRegress)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regression gate failed (>%.0f%%): %s\n",
+				*maxRegress*100, strings.Join(regressed, ", "))
 			os.Exit(1)
 		}
 	}
@@ -164,12 +177,15 @@ func loadBaseline(path string) (map[string]oldBench, error) {
 	return best, nil
 }
 
-// printComparison renders old-vs-new per benchmark to stderr.
-func printComparison(path string, fresh []record) error {
+// printComparison renders old-vs-new per benchmark to stderr. When
+// maxRegress > 0 it returns the benchmarks whose speed ratio (events/s when
+// both sides have it, ns/op otherwise) fell below 1-maxRegress.
+func printComparison(path string, fresh []record, maxRegress float64) ([]string, error) {
 	base, err := loadBaseline(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var regressed []string
 	fmt.Fprintf(os.Stderr, "\ncomparison vs %s:\n", path)
 	for _, r := range fresh {
 		old, ok := base[r.Benchmark]
@@ -177,15 +193,20 @@ func printComparison(path string, fresh []record) error {
 			fmt.Fprintf(os.Stderr, "  %-24s (not in baseline)\n", r.Benchmark)
 			continue
 		}
+		ratio := old.NsPerOp / r.NsPerOp
 		fmt.Fprintf(os.Stderr, "  %-24s ns/op %.0f -> %.0f (%.2fx)",
-			r.Benchmark, old.NsPerOp, r.NsPerOp, old.NsPerOp/r.NsPerOp)
+			r.Benchmark, old.NsPerOp, r.NsPerOp, ratio)
 		if ev, ok := r.Metrics["events/s"]; ok && old.EventsPerS > 0 {
+			ratio = ev / old.EventsPerS
 			fmt.Fprintf(os.Stderr, ", events/s %.0f -> %.0f (%.2fx)",
-				old.EventsPerS, ev, ev/old.EventsPerS)
+				old.EventsPerS, ev, ratio)
 		}
 		fmt.Fprintf(os.Stderr, ", allocs/op %d -> %d\n", old.AllocsPerOp, r.AllocsPerOp)
+		if maxRegress > 0 && ratio < 1-maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s %.2fx", r.Benchmark, ratio))
+		}
 	}
-	return nil
+	return regressed, nil
 }
 
 // parseBench decodes one result line: a name, an iteration count, then

@@ -14,10 +14,18 @@
 // stderr.
 //
 // Profiling: -cpuprofile and -memprofile write pprof files covering the
-// selected exhibits, for chasing simulator hot spots:
+// selected exhibits, for chasing simulator hot spots; -trace captures a
+// runtime execution trace (shard workers are labeled shard-worker=<i>, so
+// `go tool trace` shows barrier/merge phases per lookahead domain):
 //
 //	ucmpbench -exp fig6a -cpuprofile cpu.out -memprofile mem.out
+//	ucmpbench -exp fig6a -shards 8 -trace trace.out
 //	go tool pprof cpu.out
+//
+// -shards N (N > 1) runs each simulation on the conservative-PDES sharded
+// engine with N workers when the configuration supports it (see
+// harness.Shardable); unsupported configurations fall back to the serial
+// engine with identical output.
 //
 // The offline build performance tracked in results/BENCH_seed.json is
 // regenerated with `make bench` (see that file for the recorded baseline);
@@ -31,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -59,6 +68,8 @@ func main() {
 		workersF  = flag.Int("workers", 0, "bound on the -parallel worker pool (0 = GOMAXPROCS)")
 		cpuProfF  = flag.String("cpuprofile", "", "write a CPU profile covering the selected exhibits to this file")
 		memProfF  = flag.String("memprofile", "", "write a heap profile taken after the selected exhibits to this file")
+		traceF    = flag.String("trace", "", "write a runtime execution trace covering the selected exhibits to this file")
+		shardsF   = flag.Int("shards", 0, "run simulations on the sharded engine with this many workers (0/1 = serial)")
 		schedF    = flag.Bool("schedstats", false, "report per-exhibit scheduler internals (pending high-water, cascades, cancels) on stderr")
 	)
 	flag.Parse()
@@ -78,6 +89,21 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucmpbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ucmpbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			trace.Stop()
 			f.Close()
 		}()
 	}
@@ -107,7 +133,7 @@ func main() {
 		}
 	}
 
-	r := runner{full: *fullF, seed: *seedF}
+	r := runner{full: *fullF, seed: *seedF, shards: *shardsF}
 	for _, e := range allExps {
 		if !want[e] {
 			continue
@@ -129,14 +155,19 @@ func main() {
 			s := harness.TakeSchedStats()
 			fmt.Fprintf(os.Stderr, "(%s sched: pending-hwm %d, cascades %d, overflow %d, cancels %d, dead-pops %d, chases %d)\n",
 				e, s.PendingHighWater, s.Cascades, s.OverflowPushes, s.Cancels, s.DeadPops, s.Chases)
+			if sh := harness.TakeShardStats(); sh.Windows > 0 {
+				fmt.Fprintf(os.Stderr, "(%s shards: windows %d, barriers %d, cross-events %d, merge-batches %d, mailbox-hwm %d)\n",
+					e, sh.Windows, sh.Barriers, sh.CrossEvents, sh.MergeBatches, sh.MailboxHighWater)
+			}
 		}
 		fmt.Fprintln(os.Stderr)
 	}
 }
 
 type runner struct {
-	full bool
-	seed int64
+	full   bool
+	seed   int64
+	shards int
 
 	ps *core.PathSet
 }
@@ -163,6 +194,7 @@ func (r *runner) pathSet() *core.PathSet {
 func (r *runner) simBase() harness.SimConfig {
 	cfg := harness.ScaledConfig(harness.UCMP, transport.DCTCP, "websearch")
 	cfg.Seed = r.seed
+	cfg.Shards = r.shards
 	if r.full {
 		cfg.Duration = 20 * sim.Millisecond
 		cfg.Horizon = 80 * sim.Millisecond

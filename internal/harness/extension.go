@@ -154,7 +154,7 @@ func runWithAlphaController(cfg SimConfig, target float64) (*Result, []alphaTrac
 	}
 	eng.After(tick, control)
 	eng.Run(horizon)
-	recordSchedStats(eng)
+	recordSchedStats(eng.SchedStats())
 
 	return &Result{
 		Config:         base,

@@ -86,6 +86,36 @@ type SimConfig struct {
 	// Queue selects the event-scheduler implementation (zero value: the
 	// timing wheel). The heap option exists for differential testing.
 	Queue sim.QueueKind
+
+	// Shards > 1 opts into the conservative-PDES engine: one lookahead
+	// domain per ToR, advanced by that many parallel workers (clamped to
+	// the ToR count). Configurations Shardable rejects fall back to the
+	// serial engine silently; Result.Sharded reports which engine ran.
+	// 0 or 1 selects the serial engine.
+	Shards int
+}
+
+// Shardable reports whether a configuration can run on the sharded engine,
+// or an error naming the first obstacle. Rotor-class traffic (VLB routing,
+// the rotor transport) synchronously inspects remote-ToR VOQ depths and
+// destination-host queues, Opera's routing reads remote calendar state,
+// UCMP latency relaxation and congestion-aware assignment consult
+// fabric-wide backlog — all zero-lookahead cross-domain reads that the
+// bulk-synchronous windows cannot order deterministically.
+func Shardable(cfg SimConfig) error {
+	switch {
+	case cfg.Routing == VLB:
+		return fmt.Errorf("harness: VLB routing is rotor-class and not shardable")
+	case cfg.Routing == Opera1 || cfg.Routing == Opera5:
+		return fmt.Errorf("harness: Opera routing is not shardable")
+	case cfg.Transport == transport.Rotor:
+		return fmt.Errorf("harness: the rotor transport is not shardable")
+	case cfg.Relax:
+		return fmt.Errorf("harness: UCMP latency relaxation is not shardable")
+	case cfg.CongestionAware:
+		return fmt.Errorf("harness: congestion-aware assignment reads remote backlog and is not shardable")
+	}
+	return nil
 }
 
 // ScaledConfig is the default fast configuration for one run.
@@ -115,6 +145,10 @@ type Result struct {
 	// Events is the number of discrete events the engine executed for this
 	// run (throughput denominator for events/sec reporting).
 	Events uint64
+	// Sharded reports whether the run executed on the conservative-PDES
+	// engine (false when cfg.Shards was set but Shardable rejected the
+	// configuration).
+	Sharded bool
 	// JainCumulative is the whole-run Jain fairness over per-uplink-port
 	// bytes (Fig 15).
 	JainCumulative float64
@@ -136,7 +170,14 @@ func Run(cfg SimConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngineQueue(cfg.Queue)
+	sharded := cfg.Shards > 1 && Shardable(cfg) == nil
+	var eng *sim.Engine
+	var sh *sim.ShardedEngine
+	if sharded {
+		sh = sim.NewShardedEngine(fab.NumToRs, cfg.Shards, netsim.ShardLookahead(fab), cfg.Queue)
+	} else {
+		eng = sim.NewEngineQueue(cfg.Queue)
+	}
 
 	var router netsim.Router
 	var ucmpRouter *routing.UCMP
@@ -170,7 +211,12 @@ func Run(cfg SimConfig) (*Result, error) {
 	}
 
 	qs := transport.QueueSpec(cfg.Transport)
-	net := netsim.New(eng, fab, router, qs, qs, netsim.DefaultRotor())
+	var net *netsim.Network
+	if sharded {
+		net = netsim.NewSharded(sh, fab, router, qs, qs, netsim.DefaultRotor())
+	} else {
+		net = netsim.New(eng, fab, router, qs, qs, netsim.DefaultRotor())
+	}
 
 	if ucmpRouter != nil && cfg.CongestionAware {
 		ucmpRouter.Backlog = net.CalendarBacklog
@@ -235,12 +281,25 @@ func Run(cfg SimConfig) (*Result, error) {
 			horizon = 20 * sim.Millisecond
 		}
 	}
-	if cfg.SampleEvery > 0 {
-		col.StartSampling(net, cfg.SampleEvery, horizon)
+	var events uint64
+	if sharded {
+		if cfg.SampleEvery > 0 {
+			col.StartSamplingSharded(net, sh, cfg.SampleEvery, horizon)
+		}
+		sh.Run(horizon)
+		net.FinalizeSharded()
+		events = sh.Processed()
+		recordSchedStats(sh.SchedStats())
+		recordShardStats(sh.Stats())
+	} else {
+		if cfg.SampleEvery > 0 {
+			col.StartSampling(net, cfg.SampleEvery, horizon)
+		}
+		eng.Run(horizon)
+		events = eng.Processed()
+		recordSchedStats(eng.SchedStats())
 	}
-	eng.Run(horizon)
-	eventsProcessed.Add(eng.Processed())
-	recordSchedStats(eng)
+	eventsProcessed.Add(events)
 
 	return &Result{
 		Config:         cfg,
@@ -250,7 +309,8 @@ func Run(cfg SimConfig) (*Result, error) {
 		ReroutedFrac:   net.ReroutedFraction(),
 		CompletionRate: col.CompletionRate(),
 		Launched:       len(flows),
-		Events:         eng.Processed(),
+		Events:         events,
+		Sharded:        sharded,
 		JainCumulative: net.JainCumulative(),
 		Flows:          net.Flows(),
 	}, nil

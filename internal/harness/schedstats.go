@@ -7,22 +7,24 @@ import (
 )
 
 // CollectSchedStats enables scheduler-internals aggregation across runs
-// (pending high-water mark, wheel cascades, timer cancels). Off by default;
-// cmd/ucmpbench flips it with -schedstats.
+// (pending high-water mark, wheel cascades, timer cancels, shard barrier
+// traffic). Off by default; cmd/ucmpbench flips it with -schedstats.
 var CollectSchedStats = false
 
 var (
 	schedMu  sync.Mutex
 	schedAgg sim.SchedStats
+	shardAgg sim.ShardStats
 )
 
-// recordSchedStats folds one engine's scheduler internals into the
-// aggregate: counters sum across runs, the high-water mark takes the max.
-func recordSchedStats(eng *sim.Engine) {
+// recordSchedStats folds one run's scheduler internals into the aggregate:
+// counters sum across runs, the high-water mark takes the max. It takes a
+// stats value (not an engine) so serial runs pass eng.SchedStats() and
+// sharded runs pass the ShardedEngine's cross-domain aggregate.
+func recordSchedStats(s sim.SchedStats) {
 	if !CollectSchedStats {
 		return
 	}
-	s := eng.SchedStats()
 	schedMu.Lock()
 	if s.PendingHighWater > schedAgg.PendingHighWater {
 		schedAgg.PendingHighWater = s.PendingHighWater
@@ -35,12 +37,39 @@ func recordSchedStats(eng *sim.Engine) {
 	schedMu.Unlock()
 }
 
+// recordShardStats folds one sharded run's barrier/mailbox counters into
+// the aggregate.
+func recordShardStats(s sim.ShardStats) {
+	if !CollectSchedStats {
+		return
+	}
+	schedMu.Lock()
+	shardAgg.Windows += s.Windows
+	shardAgg.Barriers += s.Barriers
+	shardAgg.CrossEvents += s.CrossEvents
+	shardAgg.MergeBatches += s.MergeBatches
+	if s.MailboxHighWater > shardAgg.MailboxHighWater {
+		shardAgg.MailboxHighWater = s.MailboxHighWater
+	}
+	schedMu.Unlock()
+}
+
 // TakeSchedStats returns the scheduler internals aggregated since the
 // previous call and resets the aggregate.
 func TakeSchedStats() sim.SchedStats {
 	schedMu.Lock()
 	s := schedAgg
 	schedAgg = sim.SchedStats{}
+	schedMu.Unlock()
+	return s
+}
+
+// TakeShardStats returns the sharded-engine counters aggregated since the
+// previous call and resets the aggregate.
+func TakeShardStats() sim.ShardStats {
+	schedMu.Lock()
+	s := shardAgg
+	shardAgg = sim.ShardStats{}
 	schedMu.Unlock()
 	return s
 }

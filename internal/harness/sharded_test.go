@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+// fingerprintCore is fingerprint minus the event count: a sharded run
+// executes one slice-boundary event per domain per slice where the serial
+// run executes one total, so event counts legitimately differ while every
+// simulation observable — counters, fairness, efficiency, and the per-flow
+// byte/FCT trace — must stay byte-identical.
+func fingerprintCore(r *Result) string {
+	out := fmt.Sprintf("counters=%+v\njain=%.12f\nefficiency=%.12f\nlaunched=%d\n",
+		r.Counters, r.JainCumulative, r.Efficiency, r.Launched)
+	fl := append(r.Flows[:0:0], r.Flows...)
+	sort.Slice(fl, func(i, j int) bool { return fl[i].ID < fl[j].ID })
+	for _, f := range fl {
+		out += fmt.Sprintf("flow %d: sent=%d delivered=%d finished=%v at=%d\n",
+			f.ID, f.BytesSent, f.BytesDelivered, f.Finished, int64(f.FinishedAt))
+	}
+	return out
+}
+
+// shardedCase is one differential scenario. Explicit flows are built fresh
+// per run through the factory — Flow objects are mutated by a run and must
+// never be shared between the serial and sharded executions.
+type shardedCase struct {
+	name  string
+	cfg   SimConfig
+	flows func() []*netsim.Flow
+}
+
+func shardedCases() []shardedCase {
+	// The two committed benchmark scenarios, end to end.
+	satCfg := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	satCfg.Workload = ""
+	satCfg.Horizon = 200 * sim.Millisecond
+	sat := shardedCase{
+		name: "saturation", cfg: satCfg,
+		flows: func() []*netsim.Flow { return []*netsim.Flow{netsim.NewFlow(1, 0, 3, 2<<20, 0)} },
+	}
+
+	incastTopo := topo.Scaled()
+	incastTopo.NumToRs = 8
+	incastCfg := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	incastCfg.Workload = ""
+	incastCfg.Topo = incastTopo
+	incastCfg.Horizon = 400 * sim.Millisecond
+	incast := shardedCase{
+		name: "incast8tor", cfg: incastCfg,
+		flows: func() []*netsim.Flow {
+			var flows []*netsim.Flow
+			for h := incastTopo.HostsPerToR; h < incastTopo.NumHosts(); h++ {
+				flows = append(flows, netsim.NewFlow(int64(h), h, 0, 128<<10, 0))
+			}
+			return flows
+		},
+	}
+
+	// Randomized Poisson workloads over both shardable transports; the
+	// workload generator rebuilds identical flow sets from the seed, so no
+	// factory is needed.
+	dctcp := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	dctcp.Duration = sim.Millisecond
+	dctcp.Seed = 21
+	ndp := ScaledConfig(UCMP, transport.NDP, "websearch")
+	ndp.Duration = sim.Millisecond
+	ndp.Seed = 22
+	ksp := ScaledConfig(KSP5, transport.DCTCP, "datamining")
+	ksp.Duration = sim.Millisecond
+	ksp.Seed = 23
+
+	return []shardedCase{
+		sat,
+		incast,
+		{name: "ucmp-dctcp-websearch", cfg: dctcp},
+		{name: "ucmp-ndp-websearch", cfg: ndp},
+		{name: "ksp5-dctcp-datamining", cfg: ksp},
+	}
+}
+
+// TestDifferentialSerialSharded requires the conservative-PDES engine to
+// reproduce the serial engine's results byte for byte, across worker counts
+// and both scheduler queue implementations.
+func TestDifferentialSerialSharded(t *testing.T) {
+	for _, tc := range shardedCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards int, queue sim.QueueKind) string {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				cfg.Queue = queue
+				if tc.flows != nil {
+					cfg.Flows = tc.flows()
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shards > 1 && !res.Sharded {
+					t.Fatalf("Shards=%d did not run sharded", shards)
+				}
+				return fingerprintCore(res)
+			}
+			serial := run(0, sim.QueueWheel)
+			for _, v := range []struct {
+				shards int
+				queue  sim.QueueKind
+			}{
+				{2, sim.QueueWheel},
+				{tc.cfg.Topo.NumToRs, sim.QueueWheel},
+				{3, sim.QueueHeap},
+			} {
+				got := run(v.shards, v.queue)
+				if got != serial {
+					t.Fatalf("sharded(shards=%d,queue=%v) diverges from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+						v.shards, v.queue, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardableGate pins the configurations the sharded engine must refuse;
+// Run falls back to serial for them and reports it.
+func TestShardableGate(t *testing.T) {
+	bad := []SimConfig{
+		ScaledConfig(VLB, transport.Rotor, "websearch"),
+		ScaledConfig(Opera1, transport.NDP, "websearch"),
+		ScaledConfig(Opera5, transport.NDP, "websearch"),
+		func() SimConfig { c := ScaledConfig(UCMP, transport.DCTCP, "websearch"); c.Relax = true; return c }(),
+		func() SimConfig {
+			c := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+			c.CongestionAware = true
+			return c
+		}(),
+	}
+	for _, cfg := range bad {
+		if err := Shardable(cfg); err == nil {
+			t.Fatalf("Shardable accepted %v/%v relax=%v ca=%v", cfg.Routing, cfg.Transport, cfg.Relax, cfg.CongestionAware)
+		}
+		cfg.Duration = sim.Millisecond
+		cfg.Shards = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sharded {
+			t.Fatalf("unshardable config %v/%v ran sharded", cfg.Routing, cfg.Transport)
+		}
+	}
+	if err := Shardable(ScaledConfig(UCMP, transport.DCTCP, "websearch")); err != nil {
+		t.Fatalf("Shardable rejected the baseline config: %v", err)
+	}
+}

@@ -65,6 +65,27 @@ func (c *Collector) StartSampling(n *netsim.Network, every, until sim.Time) {
 	n.Eng.After(every, tick)
 }
 
+// StartSamplingSharded arms periodic fabric sampling on a sharded engine.
+// Samples run as global events: every domain is parked at a window barrier
+// strictly before the sample time, so the walk over ports and queues sees a
+// consistent fabric snapshot without synchronization. Cumulative counters
+// lag by up to one window (they sit in per-domain shards until
+// FinalizeSharded), so sharded samples are byte-rate-accurate but not
+// counter-exact; the per-port byte meters it reads are exact.
+func (c *Collector) StartSamplingSharded(n *netsim.Network, sh *sim.ShardedEngine, every, until sim.Time) {
+	var prev *netsim.Sample
+	var tick func()
+	tick = func() {
+		s := n.TakeSample(prev)
+		c.Samples = append(c.Samples, s)
+		prev = &c.Samples[len(c.Samples)-1]
+		if next := sh.GlobalNow() + every; next <= until {
+			sh.Global(next, tick)
+		}
+	}
+	sh.Global(every, tick)
+}
+
 // BinStat aggregates FCTs of flows within one size bin.
 type BinStat struct {
 	Lo, Hi   int64 // [Lo, Hi)

@@ -68,6 +68,75 @@ func BenchmarkSaturation(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// saturation64 is the sharded-engine exhibit: a 64-ToR fabric where every
+// rack's first host streams 1 MB to the next rack over (ring permutation),
+// so all 64 lookahead domains carry traffic and every data packet crosses
+// a domain boundary.
+func saturation64() (topo.Config, func() []*netsim.Flow, sim.Time) {
+	cfg := topo.Scaled()
+	cfg.NumToRs = 64
+	cfg.Uplinks = 4
+	cfg.HostsPerToR = 2
+	flows := func() []*netsim.Flow {
+		var fl []*netsim.Flow
+		for t := 0; t < cfg.NumToRs; t++ {
+			src := t * cfg.HostsPerToR
+			dst := ((t + 1) % cfg.NumToRs) * cfg.HostsPerToR
+			fl = append(fl, netsim.NewFlow(int64(t+1), src, dst, 1<<20, 0))
+		}
+		return fl
+	}
+	return cfg, flows, 50 * sim.Millisecond
+}
+
+// BenchmarkSaturation64 is the serial baseline for the 64-ToR permutation.
+func BenchmarkSaturation64(b *testing.B) {
+	cfg, mkFlows, horizon := saturation64()
+	env := newBenchEnv(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events += env.runBenchFlows(b, mkFlows(), horizon)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSaturation64Sharded runs the same scenario on the
+// conservative-PDES engine with 4 workers. On a multi-core machine this is
+// the headline speedup exhibit; under GOMAXPROCS=1 it measures the
+// sharding overhead instead (barriers + mailbox merges with no parallelism
+// to pay for them).
+func BenchmarkSaturation64Sharded(b *testing.B) {
+	cfg, mkFlows, horizon := saturation64()
+	env := newBenchEnv(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		flows := mkFlows()
+		sh := sim.NewShardedEngine(env.fab.NumToRs, 4, netsim.ShardLookahead(env.fab), sim.QueueWheel)
+		qs := transport.QueueSpec(transport.DCTCP)
+		net := netsim.NewSharded(sh, env.fab, env.router, qs, qs, netsim.DefaultRotor())
+		net.Stamper = env.router.StampBucket
+		net.Start()
+		stack := transport.NewStack(net, transport.DCTCP)
+		for _, f := range flows {
+			stack.Launch(f)
+		}
+		sh.Run(horizon)
+		net.FinalizeSharded()
+		for _, f := range flows {
+			if !f.Finished {
+				b.Fatalf("flow %d unfinished: %d/%d bytes delivered (drops=%d)",
+					f.ID, f.BytesDelivered, f.Size, net.Counters.DroppedPackets)
+			}
+		}
+		events += sh.Processed()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkIncast8ToR is the full-fabric stress: an 8-ToR fabric where
 // every host outside rack 0 sends 128 KB to host 0 concurrently.
 func BenchmarkIncast8ToR(b *testing.B) {

@@ -1,9 +1,13 @@
 package netsim
 
+import "ucmp/internal/sim"
+
 // Host is an end host: a NIC port toward its ToR and the dispatch point for
-// transport endpoints.
+// transport endpoints. A host lives in its ToR's lookahead domain, so its
+// clock, counters, and packet pool are the domain's.
 type Host struct {
 	net  *Network
+	dom  *domain
 	id   int
 	tor  int
 	port *hostPort
@@ -13,13 +17,14 @@ type Host struct {
 	recvFn func(any)
 }
 
-func newHost(n *Network, id int) *Host {
+func newHost(n *Network, id int, dom *domain) *Host {
 	tor := id / n.F.HostsPerToR
 	h := &Host{
 		net:  n,
+		dom:  dom,
 		id:   id,
 		tor:  tor,
-		port: &hostPort{net: n, tor: tor},
+		port: &hostPort{net: n, dom: dom, tor: tor},
 	}
 	h.port.pumpFn = h.port.pump
 	h.recvFn = func(a any) { h.receive(a.(*Packet)) }
@@ -31,6 +36,19 @@ func (h *Host) ID() int { return h.id }
 
 // ToR returns the index of the ToR this host attaches to.
 func (h *Host) ToR() int { return h.tor }
+
+// Eng returns the engine of the host's lookahead domain. Transport
+// endpoints schedule their timers and pacing events here, so a sharded run
+// keeps every flow's sender state on the sender's domain and every
+// receiver's state on the receiver's.
+func (h *Host) Eng() *sim.Engine { return h.dom.eng }
+
+// Now returns the host's domain-local clock.
+func (h *Host) Now() sim.Time { return h.dom.eng.Now() }
+
+// NewPacket allocates from the host's domain pool; transports must use it
+// (not Network.NewPacket) so sharded allocation stays lock-free.
+func (h *Host) NewPacket() *Packet { return h.dom.newPacket() }
 
 // Send injects a packet into the fabric through the host NIC. Addressing
 // fields are filled from the flow.
@@ -48,13 +66,13 @@ func (h *Host) Send(p *Packet) {
 	}
 	p.SrcToR = h.net.HostToR(p.SrcHost)
 	p.DstToR = h.net.HostToR(p.DstHost)
-	p.SentAt = h.net.Eng.Now()
+	p.SentAt = h.dom.eng.Now()
 	if h.net.Stamper != nil {
 		h.net.Stamper(p)
 	}
 	if p.Type == Data {
-		h.net.Counters.DataBytesSent += int64(p.PayloadLen)
-		h.net.Counters.DataInjected++
+		h.dom.ctr.DataBytesSent += int64(p.PayloadLen)
+		h.dom.ctr.DataInjected++
 	}
 	h.port.enqueue(p)
 }
@@ -66,9 +84,9 @@ func (h *Host) receive(p *Packet) {
 	p.assertLive("Host.receive")
 	if p.Type == Data {
 		if p.Trimmed {
-			h.net.Counters.TrimmedDelivered++
+			h.dom.ctr.TrimmedDelivered++
 		} else {
-			h.net.Counters.DataDelivered++
+			h.dom.ctr.DataDelivered++
 		}
 	}
 	if f := p.Flow; f != nil {
@@ -80,7 +98,7 @@ func (h *Host) receive(p *Packet) {
 			f.ReceiverEP.Deliver(p)
 		}
 	}
-	h.net.Release(p)
+	h.dom.release(p)
 }
 
 // TorOf exposes the host's ToR switch (for RotorLB credit checks).

@@ -74,8 +74,15 @@ type Counters struct {
 
 // Network is a simulated RDCN instance: hosts, ToRs, the circuit schedule
 // gating the uplinks, a Router, and transport endpoints hanging off flows.
+//
+// A network runs in one of two modes. Serial (New): one engine, one
+// domain, the classic single-threaded event loop. Sharded (NewSharded):
+// one lookahead domain per ToR on a sim.ShardedEngine; Eng is nil, and
+// cross-ToR packet arrivals route through the engine's mailboxes. Rotor-
+// class flows (VLB/RotorLB) and the congestion-aware extension read peer
+// state synchronously and are rejected in sharded mode.
 type Network struct {
-	Eng    *sim.Engine
+	Eng    *sim.Engine // serial engine; nil when sharded
 	F      *topo.Fabric
 	Router Router
 
@@ -108,6 +115,11 @@ type Network struct {
 
 	pool packetPool
 
+	// sharded is set by NewSharded; doms holds the execution domains (a
+	// single shared one in serial mode).
+	sharded *sim.ShardedEngine
+	doms    []*domain
+
 	// Memoized serialization delays for the two wire lengths that cover
 	// nearly all traffic (full MTU frames and bare control headers), so the
 	// per-packet hot path skips the 64-bit division in SerializationDelay.
@@ -115,10 +127,55 @@ type Network struct {
 	serUpMTU, serUpHdr sim.Time
 }
 
-// New wires up a network. Call Start before Run to arm the slice clock.
+// New wires up a serial network. Call Start before Run to arm the slice
+// clock.
 func New(eng *sim.Engine, f *topo.Fabric, router Router, up, down QueueSpec, rotor RotorConfig) *Network {
+	n := newNetworkShell(f, router, up, down, rotor)
+	n.Eng = eng
+	// One domain shared by every component, aliasing the network-level
+	// engine, counters, and pool: serial behavior is byte-identical to the
+	// pre-domain code, including the single slice-boundary event iterating
+	// all ToRs.
+	d := &domain{net: n, eng: eng, id: 0, ctr: &n.Counters, pool: &n.pool}
+	d.boundaryFn = func() { n.sliceBoundaryFor(d) }
+	n.doms = []*domain{d}
+	n.buildTopology(func(int) *domain { return d })
+	d.tors = n.ToRs
+	return n
+}
+
+// NewSharded wires up a network over a sharded engine: one domain per ToR,
+// owning the ToR, its hosts, their NICs, and its uplink ports. The engine
+// must have exactly NumToRs domains and a window no larger than
+// ShardLookahead(f). Cross-ToR packet arrivals are routed through the
+// engine's mailboxes; everything else stays domain-local. Run the engine,
+// then call FinalizeSharded before reading Counters or flow completions.
+func NewSharded(sh *sim.ShardedEngine, f *topo.Fabric, router Router, up, down QueueSpec, rotor RotorConfig) *Network {
+	if sh.Domains() != f.NumToRs {
+		panic(fmt.Sprintf("netsim: sharded engine has %d domains, fabric has %d ToRs", sh.Domains(), f.NumToRs))
+	}
+	if la := ShardLookahead(f); sh.Window() > la {
+		panic(fmt.Sprintf("netsim: engine window %v exceeds fabric lookahead %v", sh.Window(), la))
+	}
+	n := newNetworkShell(f, router, up, down, rotor)
+	n.sharded = sh
+	n.doms = make([]*domain, f.NumToRs)
+	for i := range n.doms {
+		d := &domain{net: n, eng: sh.Domain(i), id: i, ctr: &Counters{}, pool: &packetPool{}}
+		d.boundaryFn = func() { n.sliceBoundaryFor(d) }
+		n.doms[i] = d
+	}
+	n.buildTopology(func(tor int) *domain { return n.doms[tor] })
+	for i, d := range n.doms {
+		d.tors = n.ToRs[i : i+1]
+	}
+	return n
+}
+
+// newNetworkShell builds the mode-independent part of a Network.
+func newNetworkShell(f *topo.Fabric, router Router, up, down QueueSpec, rotor RotorConfig) *Network {
 	n := &Network{
-		Eng: eng, F: f, Router: router,
+		F: f, Router: router,
 		UpQueue: up, DownQueue: down, Rotor: rotor,
 		flows: make(map[int64]*Flow),
 	}
@@ -126,30 +183,40 @@ func New(eng *sim.Engine, f *topo.Fabric, router Router, up, down QueueSpec, rot
 	n.serHdr = f.SerializationDelay(HeaderBytes)
 	n.serUpMTU = f.UplinkSerialization(f.MTU)
 	n.serUpHdr = f.UplinkSerialization(HeaderBytes)
-	n.ToRs = make([]*ToR, f.NumToRs)
-	for i := range n.ToRs {
-		n.ToRs[i] = newToR(n, i)
-	}
-	n.Hosts = make([]*Host, f.NumHosts())
-	for i := range n.Hosts {
-		n.Hosts[i] = newHost(n, i)
-	}
 	return n
+}
+
+// buildTopology instantiates ToRs and hosts, assigning each to the domain
+// domOf returns for its ToR index.
+func (n *Network) buildTopology(domOf func(tor int) *domain) {
+	n.ToRs = make([]*ToR, n.F.NumToRs)
+	for i := range n.ToRs {
+		n.ToRs[i] = newToR(n, i, domOf(i))
+	}
+	n.Hosts = make([]*Host, n.F.NumHosts())
+	for i := range n.Hosts {
+		n.Hosts[i] = newHost(n, i, domOf(i/n.F.HostsPerToR))
+	}
 }
 
 // HostToR returns the ToR a host attaches to.
 func (n *Network) HostToR(host int) int { return host / n.F.HostsPerToR }
 
 // Start arms the slice-boundary clock. Must be called once before running.
+// Sharded networks arm one boundary event per domain (the slice clock is
+// global state every ToR derives locally from its own virtual time).
 func (n *Network) Start() {
-	n.Eng.At(0, n.sliceBoundary)
+	for _, d := range n.doms {
+		d.eng.At(0, d.boundaryFn)
+	}
 }
 
-// sliceBoundary fires at the start of every slice: it expires the calendar
-// queues of the slice that just ended (rerouting the packets that missed
-// their circuits, §6.3) and kicks every uplink pump for the new slice.
-func (n *Network) sliceBoundary() {
-	now := n.Eng.Now()
+// sliceBoundaryFor fires at the start of every slice in one domain: it
+// expires the calendar queues of the slice that just ended (rerouting the
+// packets that missed their circuits, §6.3) and kicks the domain's uplink
+// pumps for the new slice. Serially the single domain covers all ToRs.
+func (n *Network) sliceBoundaryFor(d *domain) {
+	now := d.eng.Now()
 	abs := n.F.AbsSlice(now)
 	// The cyclic index of the just-ended slice is computed once here rather
 	// than per ToR (it is the same for all of them).
@@ -157,10 +224,58 @@ func (n *Network) sliceBoundary() {
 	if abs > 0 {
 		expired = n.F.CyclicSlice(abs - 1)
 	}
-	for _, tor := range n.ToRs {
+	for _, tor := range d.tors {
 		tor.onSliceStart(abs, expired)
 	}
-	n.Eng.At(n.F.SliceStart(abs+1), n.sliceBoundary)
+	d.eng.At(n.F.SliceStart(abs+1), d.boundaryFn)
+}
+
+// simNow returns the observation clock: the serial engine's time, or the
+// sharded coordinator's global time (sampling runs as a global event).
+func (n *Network) simNow() sim.Time {
+	if n.sharded != nil {
+		return n.sharded.GlobalNow()
+	}
+	return n.Eng.Now()
+}
+
+// domainFor returns the domain executing a ToR's events.
+func (n *Network) domainFor(tor int) *domain {
+	if len(n.doms) == 1 {
+		return n.doms[0]
+	}
+	return n.doms[tor]
+}
+
+// FinalizeSharded merges the per-domain counter shards into Counters and
+// fires OnFlowDone for every flow that completed during a sharded run,
+// ordered by (FinishedAt, flow ID). Completion instants are domain-local
+// times, so this is the serial completion order whenever instants are
+// distinct (ties fall back to ID order, which a serial run does not
+// guarantee — the one documented observable difference, DESIGN.md §10).
+// Call it exactly once, after the engine run; serial networks ignore it.
+func (n *Network) FinalizeSharded() {
+	if n.sharded == nil {
+		return
+	}
+	var fin []*Flow
+	for _, d := range n.doms {
+		n.Counters.add(d.ctr)
+		*d.ctr = Counters{}
+		fin = append(fin, d.finished...)
+		d.finished = nil
+	}
+	sort.Slice(fin, func(i, j int) bool {
+		if fin[i].FinishedAt != fin[j].FinishedAt {
+			return fin[i].FinishedAt < fin[j].FinishedAt
+		}
+		return fin[i].ID < fin[j].ID
+	})
+	if n.OnFlowDone != nil {
+		for _, f := range fin {
+			n.OnFlowDone(f)
+		}
+	}
 }
 
 // RegisterFlow makes the network aware of a flow (needed before any packet
@@ -171,6 +286,13 @@ func (n *Network) RegisterFlow(f *Flow) {
 		panic(fmt.Sprintf("netsim: duplicate flow %d", f.ID))
 	}
 	f.RotorClass = n.Router.RotorFlow(f)
+	if f.RotorClass && n.sharded != nil {
+		// RotorLB reads peer-ToR VOQ depths and destination downlink
+		// occupancy synchronously on the send path — cross-domain reads the
+		// lookahead contract cannot cover. The harness gates these configs
+		// before construction; this is the backstop.
+		panic("netsim: rotor-class flows are not supported on a sharded network")
+	}
 	f.dense = len(n.flowList)
 	n.flows[f.ID] = f
 	n.flowList = append(n.flowList, f)
@@ -183,20 +305,32 @@ func (n *Network) RecordDelivered(f *Flow, newBytes int64) {
 	if newBytes <= 0 {
 		return
 	}
+	d := n.domainFor(n.HostToR(f.DstHost))
 	f.BytesDelivered += newBytes
-	n.Counters.DataBytesDelivered += newBytes
+	d.ctr.DataBytesDelivered += newBytes
 	if f.BytesDelivered >= f.Size {
-		n.FlowFinished(f)
+		n.flowFinishedIn(d, f)
 	}
 }
 
-// FlowFinished records completion exactly once.
+// FlowFinished records completion exactly once. It runs in the domain of
+// the flow's destination ToR (delivery events execute there).
 func (n *Network) FlowFinished(f *Flow) {
+	n.flowFinishedIn(n.domainFor(n.HostToR(f.DstHost)), f)
+}
+
+func (n *Network) flowFinishedIn(d *domain, f *Flow) {
 	if f.Finished {
 		return
 	}
 	f.Finished = true
-	f.FinishedAt = n.Eng.Now()
+	f.FinishedAt = d.eng.Now()
+	if n.sharded != nil {
+		// OnFlowDone callbacks append to shared collector state; buffer and
+		// drain deterministically in FinalizeSharded.
+		d.finished = append(d.finished, f)
+		return
+	}
 	if n.OnFlowDone != nil {
 		n.OnFlowDone(f)
 	}
@@ -214,18 +348,6 @@ func (n *Network) Flows() []*Flow {
 
 // NumFlows returns the number of registered flows (the dense index bound).
 func (n *Network) NumFlows() int { return len(n.flowList) }
-
-// dropPacket records a terminal drop in the conservation ledger and recycles
-// the packet. Every path that abandons a packet must come through here (or
-// through a delivery); otherwise the pool leaks and the conservation test
-// fails.
-func (n *Network) dropPacket(p *Packet) {
-	n.Counters.DroppedPackets++
-	if p.Type == Data {
-		n.Counters.DataDropped++
-	}
-	n.Release(p)
-}
 
 // InFlightData counts the data packets parked in fabric queues (host NICs,
 // ToR ports, calendar queues, RotorLB VOQs). Packets on the wire — inside a
@@ -319,9 +441,11 @@ type Sample struct {
 	JainLoadIndex float64
 }
 
-// TakeSample computes utilizations since the previous TakeSample call.
+// TakeSample computes utilizations since the previous TakeSample call. On
+// a sharded network it must run as a coordinator global event (it reads and
+// advances every port's meter).
 func (n *Network) TakeSample(prev *Sample) Sample {
-	now := n.Eng.Now()
+	now := n.simNow()
 	s := Sample{At: now}
 	var interval sim.Time
 	if prev != nil {

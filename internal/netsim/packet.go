@@ -93,6 +93,14 @@ type Packet struct {
 	// SentAt is when the packet (this transmission) left the host.
 	SentAt sim.Time
 
+	// linkSrc/linkSeq stamp a ToR-to-ToR transmission with its sending ToR
+	// and that ToR's monotone send counter. Peer arrivals sharing one
+	// instant at one ToR are processed in (linkSrc, linkSeq) order — the
+	// canonical tie-break that makes serial and sharded runs bit-identical
+	// (see ToR.flushIngress).
+	linkSrc int32
+	linkSeq uint64
+
 	// released marks a packet returned to its Network's pool; the poison
 	// debug mode asserts it never re-enters the fabric (see pool.go).
 	released bool

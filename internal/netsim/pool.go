@@ -17,24 +17,22 @@ const (
 	poisonHost = -0x6b6b6b6b
 )
 
-// packetPool is a per-Network free list of Packet structs. A Network is
-// single-threaded (one discrete-event engine), so the pool needs no
-// locking even when independent trials run on parallel goroutines — each
-// trial owns its Network and therefore its pool. Recycled packets keep the
-// capacity of their Route slice, so steady-state route planning appends
-// into storage that has already grown to the fabric's hop-count
-// high-water mark.
+// packetPool is a per-domain free list of Packet structs. A domain is
+// single-threaded (one discrete-event engine), so the pool needs no locking
+// even when domains run on parallel workers — each domain owns its pool,
+// and a packet crossing domains is handed over at a barrier and recycled by
+// the receiving domain. Recycled packets keep the capacity of their Route
+// slice, so steady-state route planning appends into storage that has
+// already grown to the fabric's hop-count high-water mark.
 type packetPool struct {
 	free []*Packet
 	gets uint64
 	puts uint64
 }
 
-// NewPacket returns a reset packet, recycling a released one when
-// available. Callers fill in the fields they need; everything else is
-// zero.
-func (n *Network) NewPacket() *Packet {
-	pool := &n.pool
+// get returns a reset packet, recycling a released one when available.
+// Callers fill in the fields they need; everything else is zero.
+func (pool *packetPool) get() *Packet {
 	pool.gets++
 	if len(pool.free) == 0 {
 		return &Packet{}
@@ -46,10 +44,10 @@ func (n *Network) NewPacket() *Packet {
 	return p
 }
 
-// Release returns a terminal packet (delivered or dropped) to the pool.
-// The caller must not touch the packet afterwards; with PoisonPackets set,
+// put returns a terminal packet (delivered or dropped) to the pool. The
+// caller must not touch the packet afterwards; with PoisonPackets set,
 // doing so trips an assertion or reads sentinel garbage.
-func (n *Network) Release(p *Packet) {
+func (pool *packetPool) put(p *Packet) {
 	if PoisonPackets {
 		if p.released {
 			panic(fmt.Sprintf("netsim: double release of packet (seq=%d)", p.Seq))
@@ -66,9 +64,18 @@ func (n *Network) Release(p *Packet) {
 		}
 	}
 	p.released = true
-	n.pool.puts++
-	n.pool.free = append(n.pool.free, p)
+	pool.puts++
+	pool.free = append(pool.free, p)
 }
+
+// NewPacket allocates from the first domain's pool. In serial mode that is
+// the network's only pool; sharded transports allocate through
+// Host.NewPacket instead, so each sender draws from its own domain.
+func (n *Network) NewPacket() *Packet { return n.doms[0].newPacket() }
+
+// Release recycles through the first domain's pool (serial-mode
+// counterpart of NewPacket).
+func (n *Network) Release(p *Packet) { n.doms[0].release(p) }
 
 // assertLive panics when a recycled packet re-enters the fabric (only with
 // PoisonPackets set; the check is a single predictable branch otherwise).
@@ -78,9 +85,14 @@ func (p *Packet) assertLive(where string) {
 	}
 }
 
-// PoolStats reports pool traffic: packets handed out, packets returned,
-// and the difference — packets currently queued in the fabric or in
-// flight inside scheduled events. Tests use it for leak detection.
+// PoolStats reports pool traffic summed across domains: packets handed out,
+// packets returned, and the difference — packets currently queued in the
+// fabric or in flight inside scheduled events. Tests use it for leak
+// detection.
 func (n *Network) PoolStats() (gets, puts, live uint64) {
-	return n.pool.gets, n.pool.puts, n.pool.gets - n.pool.puts
+	for _, d := range n.doms {
+		gets += d.pool.gets
+		puts += d.pool.puts
+	}
+	return gets, puts, gets - puts
 }

@@ -18,8 +18,11 @@ func (m *byteMeter) take() int64 {
 }
 
 // downPort is a ToR egress port toward one host: a plain queue and a link.
+// A downlink never leaves its ToR's domain (the host is in it), so the pump
+// schedules on the domain engine directly.
 type downPort struct {
 	net       *Network
+	dom       *domain
 	host      int // global host id
 	queue     Queue
 	busyUntil sim.Time
@@ -32,14 +35,14 @@ type downPort struct {
 
 func (d *downPort) enqueue(p *Packet) {
 	if !d.queue.Enqueue(p) {
-		d.net.dropPacket(p)
+		d.dom.dropPacket(p)
 		return
 	}
 	d.pump()
 }
 
 func (d *downPort) pump() {
-	now := d.net.Eng.Now()
+	now := d.dom.eng.Now()
 	if now < d.busyUntil {
 		return
 	}
@@ -50,10 +53,10 @@ func (d *downPort) pump() {
 	ser := d.net.serdelay(p.WireLen)
 	d.busyUntil = now + ser
 	d.meter.add(int64(p.WireLen))
-	d.net.Counters.TorToHostBytes += int64(p.WireLen)
+	d.dom.ctr.TorToHostBytes += int64(p.WireLen)
 	host := d.net.Hosts[d.host]
-	d.net.Eng.At1(now+ser+d.net.F.HostPropDelay, host.recvFn, p)
-	d.net.Eng.At(d.busyUntil, d.pumpFn)
+	d.dom.eng.At1(now+ser+d.net.F.HostPropDelay, host.recvFn, p)
+	d.dom.eng.At(d.busyUntil, d.pumpFn)
 }
 
 func (d *downPort) takeBytes() int64 { return d.meter.take() }
@@ -70,6 +73,7 @@ const anonQueue = -1
 // slice lookup, not a map probe, on every data packet.
 type hostPort struct {
 	net       *Network
+	dom       *domain
 	tor       int
 	busyUntil sim.Time
 	meter     byteMeter
@@ -147,7 +151,7 @@ func (h *hostPort) next() *Packet {
 }
 
 func (h *hostPort) pump() {
-	now := h.net.Eng.Now()
+	now := h.dom.eng.Now()
 	if now < h.busyUntil {
 		return
 	}
@@ -158,10 +162,10 @@ func (h *hostPort) pump() {
 	ser := h.net.serdelay(p.WireLen)
 	h.busyUntil = now + ser
 	h.meter.add(int64(p.WireLen))
-	h.net.Counters.HostToTorBytes += int64(p.WireLen)
+	h.dom.ctr.HostToTorBytes += int64(p.WireLen)
 	tor := h.net.ToRs[h.tor]
-	h.net.Eng.At1(now+ser+h.net.F.HostPropDelay, tor.recvHostFn, p)
-	h.net.Eng.At(h.busyUntil, h.pumpFn)
+	h.dom.eng.At1(now+ser+h.net.F.HostPropDelay, tor.recvHostFn, p)
+	h.dom.eng.At(h.busyUntil, h.pumpFn)
 }
 
 func (h *hostPort) takeBytes() int64 { return h.meter.take() }
@@ -201,7 +205,7 @@ type uplinkPort struct {
 
 func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
 	u := &uplinkPort{net: n, tor: tor, sw: sw}
-	u.wake = n.Eng.NewTimer(u.pump)
+	u.wake = tor.dom.eng.NewTimer(u.pump)
 	u.cal = make([]Queue, n.F.Sched.S)
 	for i := range u.cal {
 		u.cal[i].MaxDataPackets = n.UpQueue.MaxDataPackets
@@ -252,7 +256,7 @@ func (u *uplinkPort) wakeAt(t sim.Time) {
 // pump transmits at most one packet and re-arms itself. It is idempotent:
 // extra pump calls are harmless.
 func (u *uplinkPort) pump() {
-	now := u.net.Eng.Now()
+	now := u.tor.dom.eng.Now()
 	if now < u.busyUntil {
 		// An early wakeup (e.g. a rotor retry) landed mid-serialization:
 		// re-arm for when the port frees up.
@@ -300,9 +304,19 @@ func (u *uplinkPort) pump() {
 	ser := u.net.serdelayUp(p.WireLen)
 	u.busyUntil = now + ser
 	u.meter.add(int64(p.WireLen))
-	u.net.Counters.TorToTorBytes += int64(p.WireLen)
+	u.tor.dom.ctr.TorToTorBytes += int64(p.WireLen)
 	dst := u.net.ToRs[peer]
-	u.net.Eng.At1(now+ser+u.net.F.PropDelay, dst.recvPeerFn, p)
+	at := now + ser + u.net.F.PropDelay
+	u.tor.linkSeq++
+	p.linkSrc, p.linkSeq = int32(u.tor.id), u.tor.linkSeq
+	if sh := u.net.sharded; sh != nil && dst.dom != u.tor.dom {
+		// Cross-domain arrival: route through the sharded engine's mailbox.
+		// ser ≥ uplink header serialization, so at ≥ now + ShardLookahead and
+		// the lookahead assertion in Send holds for every packet size.
+		sh.Send(u.tor.dom.id, dst.dom.id, at, dst.ingressFn, p)
+	} else {
+		u.tor.dom.eng.At1(at, dst.ingressFn, p)
+	}
 	u.wakeAt(u.busyUntil)
 }
 

@@ -7,25 +7,45 @@ import "ucmp/internal/sim"
 // source-routing logic of §6.2 plus the rerouting of §6.3.
 type ToR struct {
 	net   *Network
+	dom   *domain
 	id    int
 	down  []*downPort
 	up    []*uplinkPort
 	rotor *rotorState
 
-	// recvHostFn/recvPeerFn are the receive methods pre-bound for sim.At1:
+	// recvHostFn/ingressFn are the receive methods pre-bound for sim.At1:
 	// link transmissions schedule arrivals without a per-packet closure.
 	recvHostFn func(any)
-	recvPeerFn func(any)
+
+	// Peer-arrival ingress: circuit arrivals landing at one instant buffer
+	// here and are processed together by a flush event scheduled at that
+	// same instant, in canonical (linkSrc, linkSeq) order. The flush runs
+	// after every other event of the instant in both engines — nothing in
+	// netsim schedules zero-delay events, so once the first arrival fires,
+	// no new event can slot in at the same time — which pins the one tie the
+	// serial and sharded engines would otherwise break differently:
+	// same-instant arrivals from different source ToRs.
+	ingress        []*Packet
+	ingressScratch []*Packet
+	ingressArmed   bool
+	ingressFn      func(any)
+	flushFn        func()
+
+	// linkSeq numbers this ToR's circuit transmissions for the canonical
+	// arrival order above.
+	linkSeq uint64
 }
 
-func newToR(n *Network, id int) *ToR {
-	t := &ToR{net: n, id: id}
+func newToR(n *Network, id int, dom *domain) *ToR {
+	t := &ToR{net: n, dom: dom, id: id}
 	t.recvHostFn = func(a any) { t.receiveFromHost(a.(*Packet)) }
-	t.recvPeerFn = func(a any) { t.receiveFromPeer(a.(*Packet)) }
+	t.ingressFn = func(a any) { t.ingressArrive(a.(*Packet)) }
+	t.flushFn = t.flushIngress
 	t.down = make([]*downPort, n.F.HostsPerToR)
 	for i := range t.down {
 		d := &downPort{
 			net:  n,
+			dom:  dom,
 			host: id*n.F.HostsPerToR + i,
 			queue: Queue{
 				MaxDataPackets: n.DownQueue.MaxDataPackets,
@@ -61,7 +81,7 @@ func (t *ToR) onSliceStart(abs int64, expired int) {
 				if p == nil {
 					break
 				}
-				t.net.Counters.ExpiredInCalendar++
+				t.dom.ctr.ExpiredInCalendar++
 				t.recirculate(p, abs)
 			}
 		}
@@ -75,7 +95,7 @@ func (t *ToR) onSliceStart(abs int64, expired int) {
 func (t *ToR) receiveFromHost(p *Packet) {
 	p.assertLive("ToR.receiveFromHost")
 	if p.Type == Data {
-		t.net.Counters.DataPackets++
+		t.dom.ctr.DataPackets++
 	}
 	if p.DstToR == t.id {
 		t.deliverDown(p)
@@ -85,7 +105,42 @@ func (t *ToR) receiveFromHost(p *Packet) {
 		t.rotorPushLocal(p)
 		return
 	}
-	t.routeAndForward(p, t.net.F.AbsSlice(t.net.Eng.Now()))
+	t.routeAndForward(p, t.net.F.AbsSlice(t.dom.eng.Now()))
+}
+
+// ingressArrive buffers one circuit arrival and arms the instant's flush.
+func (t *ToR) ingressArrive(p *Packet) {
+	t.ingress = append(t.ingress, p)
+	if !t.ingressArmed {
+		t.ingressArmed = true
+		t.dom.eng.At(t.dom.eng.Now(), t.flushFn)
+	}
+}
+
+// flushIngress processes the instant's buffered arrivals in (linkSrc,
+// linkSeq) order: FIFO per link, source-ToR index across links.
+func (t *ToR) flushIngress() {
+	t.ingressArmed = false
+	buf := t.ingress
+	// Swap buffers before processing: receiveFromPeer cannot buffer new
+	// same-instant arrivals (every send lands strictly later), but the swap
+	// keeps the drain safe against any future same-instant path.
+	t.ingress = t.ingressScratch[:0]
+	t.ingressScratch = buf
+	// Insertion sort: the buffer rarely exceeds the uplink count.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0; j-- {
+			a, b := buf[j-1], buf[j]
+			if a.linkSrc < b.linkSrc || (a.linkSrc == b.linkSrc && a.linkSeq < b.linkSeq) {
+				break
+			}
+			buf[j-1], buf[j] = b, a
+		}
+	}
+	for i, p := range buf {
+		buf[i] = nil
+		t.receiveFromPeer(p)
+	}
 }
 
 // receiveFromPeer accepts a packet arriving over a circuit.
@@ -102,18 +157,18 @@ func (t *ToR) receiveFromPeer(p *Packet) {
 		t.rotor.pushNonlocal(p)
 		return
 	}
-	now := t.net.Eng.Now()
+	now := t.dom.eng.Now()
 	abs := t.net.F.AbsSlice(now)
 	hop, ok := p.CurrentHop()
 	if !ok || hop.AbsSlice < abs {
 		// Route exhausted prematurely or the planned slice has passed:
 		// recirculate with this ToR as the new source (§6.3).
-		t.net.Counters.LateArrivals++
+		t.dom.ctr.LateArrivals++
 		t.recirculate(p, abs)
 		return
 	}
 	if !t.enqueueUplink(p, hop) {
-		t.net.Counters.CalendarFull++
+		t.dom.ctr.CalendarFull++
 		t.recirculate(p, hop.AbsSlice+1)
 	}
 }
@@ -122,7 +177,7 @@ func (t *ToR) receiveFromPeer(p *Packet) {
 func (t *ToR) deliverDown(p *Packet) {
 	local := p.DstHost - t.id*t.net.F.HostsPerToR
 	if local < 0 || local >= len(t.down) {
-		t.net.dropPacket(p)
+		t.dom.dropPacket(p)
 		return
 	}
 	t.down[local].enqueue(p)
@@ -132,7 +187,7 @@ func (t *ToR) deliverDown(p *Packet) {
 // enqueues the packet; on a full calendar queue it retries with later
 // slices (recirculation) until the §6.3 limit.
 func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
-	now := t.net.Eng.Now()
+	now := t.dom.eng.Now()
 	bumped := false
 	for {
 		// The recycled packet's Route slice is the router's scratch: once it
@@ -140,7 +195,7 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 		// allocates nothing.
 		route, ok := t.net.Router.PlanRoute(p, t.id, now, fromAbs, p.Route[:0])
 		if !ok || len(route) == 0 {
-			t.net.dropPacket(p)
+			t.dom.dropPacket(p)
 			return
 		}
 		// Feasibility of same-slice chains: a plan whose leading hops all
@@ -170,7 +225,7 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 			return
 		}
 		// Target priority queue full: recirculate (§6.3).
-		t.net.Counters.CalendarFull++
+		t.dom.ctr.CalendarFull++
 		if !t.bumpReroute(p) {
 			return
 		}
@@ -190,12 +245,12 @@ func (t *ToR) recirculate(p *Packet, fromAbs int64) {
 // whether the packet may continue.
 func (t *ToR) bumpReroute(p *Packet) bool {
 	if !p.WasRerouted && p.Type == Data {
-		t.net.Counters.ReroutedPackets++
+		t.dom.ctr.ReroutedPackets++
 	}
 	p.WasRerouted = true
 	p.Rerouted++
 	if p.Rerouted > MaxReroutes {
-		t.net.dropPacket(p)
+		t.dom.dropPacket(p)
 		return false
 	}
 	return true
@@ -213,7 +268,7 @@ func (t *ToR) enqueueUplink(p *Packet, hop PlannedHop) bool {
 	if !u.cal[c].Enqueue(p) {
 		return false
 	}
-	now := t.net.Eng.Now()
+	now := t.dom.eng.Now()
 	if t.net.F.AbsSlice(now) == hop.AbsSlice {
 		u.pump()
 	}
@@ -225,7 +280,7 @@ func (t *ToR) rotorPushLocal(p *Packet) {
 	if t.rotor == nil {
 		// RotorLB disabled but a rotor-class flow appeared: fall back to
 		// source routing so traffic still flows.
-		t.routeAndForward(p, t.net.F.AbsSlice(t.net.Eng.Now()))
+		t.routeAndForward(p, t.net.F.AbsSlice(t.dom.eng.Now()))
 		return
 	}
 	t.rotor.pushLocal(p)
@@ -251,7 +306,7 @@ func (t *ToR) RotorNotify(dstToR int, fn func()) {
 }
 
 // currentAbs is a small helper for rotor code.
-func (t *ToR) currentAbs() int64 { return t.net.F.AbsSlice(t.net.Eng.Now()) }
+func (t *ToR) currentAbs() int64 { return t.net.F.AbsSlice(t.dom.eng.Now()) }
 
 // pumpFor kicks the port currently connected to peer, if any.
 func (t *ToR) pumpFor(peer int) {

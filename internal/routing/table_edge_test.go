@@ -1,0 +1,127 @@
+package routing
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+)
+
+// TestCompiledTableLookupEdgeCases is the table-driven pin for the match
+// semantics at the edges of the key space: keys outside the installed
+// (dst, tstart, bucket) domain must miss (hardware tables have no default
+// action here — the caller recirculates), and every in-domain lookup,
+// including ones anchored far past the first schedule cycle, must reproduce
+// UCMP.PlanRoute exactly. Bucket clamping is pinned from the router side:
+// PlanRoute tolerates out-of-range bucket tags by clamping to the
+// newest/oldest bucket, so a clamped plan must equal the table hit at the
+// corresponding edge bucket.
+func TestCompiledTableLookupEdgeCases(t *testing.T) {
+	f := fabric(t)
+	ps := core.BuildPathSet(f, 0.5)
+	u := NewUCMP(ps)
+	const tor = 2
+	tbl := CompileTable(ps, u.Ager, tor)
+	S := f.Sched.S
+	nb := u.Ager.NumBuckets()
+	dst := (tor + 3) % f.NumToRs
+
+	// plan asks the router for the reference route; every dataPacket here
+	// uses the same flow (ID 1, same endpoints), so the hash is stable
+	// across calls.
+	plan := func(bucket int, fromAbs int64) ([]netsim.PlannedHop, uint64) {
+		t.Helper()
+		p := dataPacket(f, tor, dst, 1<<20)
+		p.Bucket = bucket
+		hops, ok := u.PlanRoute(p, tor, 0, fromAbs, nil)
+		if !ok {
+			t.Fatalf("router failed %d->%d bucket %d fromAbs %d", tor, dst, bucket, fromAbs)
+		}
+		return hops, p.Flow.Hash
+	}
+
+	// farAbs anchors past the 2^36 ns wheel horizon when slices are
+	// microseconds: lookups are keyed on the cyclic slice, so distance from
+	// slice 0 must not matter.
+	farAbs := int64(1)<<40 + 7
+
+	cases := []struct {
+		name                string
+		dst, tstart, bucket int
+		fromAbs             int64
+		wantOK              bool
+		// pinBucket, when >= 0, selects the router plan (at fromAbs) the
+		// hit must equal hop-for-hop.
+		pinBucket int
+	}{
+		{name: "own ToR misses", dst: tor, wantOK: false, pinBucket: -1},
+		{name: "dst past fabric misses", dst: f.NumToRs, wantOK: false, pinBucket: -1},
+		{name: "negative dst misses", dst: -1, wantOK: false, pinBucket: -1},
+		{name: "tstart past cycle misses", dst: dst, tstart: S, wantOK: false, pinBucket: -1},
+		{name: "tstart past horizon misses", dst: dst, tstart: S * 100000, wantOK: false, pinBucket: -1},
+		{name: "negative tstart misses", dst: dst, tstart: -1, wantOK: false, pinBucket: -1},
+		{name: "bucket past ager misses", dst: dst, bucket: nb, wantOK: false, pinBucket: -1},
+		{name: "negative bucket misses", dst: dst, bucket: -1, wantOK: false, pinBucket: -1},
+		{name: "first key hits", dst: dst, wantOK: true, pinBucket: 0},
+		{name: "last bucket hits", dst: dst, bucket: nb - 1, wantOK: true, pinBucket: nb - 1},
+		{name: "anchor past horizon hits", dst: dst, tstart: int(farAbs % int64(S)), bucket: 0,
+			fromAbs: farAbs, wantOK: true, pinBucket: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hash uint64
+			var want []netsim.PlannedHop
+			if tc.pinBucket >= 0 {
+				want, hash = plan(tc.pinBucket, tc.fromAbs)
+			}
+			got, ok := tbl.Lookup(tc.dst, tc.tstart, tc.bucket, hash, tc.fromAbs)
+			if ok != tc.wantOK {
+				t.Fatalf("Lookup(%d,%d,%d) ok=%v, want %v", tc.dst, tc.tstart, tc.bucket, ok, tc.wantOK)
+			}
+			if !ok {
+				if got != nil {
+					t.Fatalf("miss returned hops %v", got)
+				}
+				return
+			}
+			if tc.tstart != int(tc.fromAbs%int64(S)) && tc.fromAbs != 0 {
+				t.Fatalf("bad case: tstart %d does not match fromAbs %d", tc.tstart, tc.fromAbs)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("hop count %d != router's %d: %v vs %v", len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("hop %d differs: %v vs %v", i, got, want)
+				}
+			}
+		})
+	}
+
+	// Router-side clamping: out-of-range bucket tags plan like the nearest
+	// edge bucket, so the table row at that edge is still the right install.
+	high, hash := plan(nb+7, 0)
+	edge, ok := tbl.Lookup(dst, 0, nb-1, hash, 0)
+	if !ok {
+		t.Fatal("edge bucket lookup missed")
+	}
+	assertSameHops(t, "bucket above range clamps to oldest", high, edge)
+	low, hash2 := plan(-3, 0)
+	edge, ok = tbl.Lookup(dst, 0, 0, hash2, 0)
+	if !ok {
+		t.Fatal("bucket-0 lookup missed")
+	}
+	assertSameHops(t, "bucket below range clamps to newest", low, edge)
+}
+
+func assertSameHops(t *testing.T, what string, a, b []netsim.PlannedHop) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %v vs %v", what, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: hop %d differs: %v vs %v", what, i, a, b)
+		}
+	}
+}

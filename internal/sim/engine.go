@@ -164,6 +164,21 @@ func (e *Engine) SchedStats() SchedStats {
 	return s
 }
 
+// NextAt returns the time of the earliest pending event without removing
+// it, and false when the queue is empty. Lazily-deleted timer events count:
+// they still occupy the queue and bound how far the engine must run to
+// drain it. The probe never mutates the queue, so the sharded coordinator
+// can call it on idle domains between windows.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.wheel != nil {
+		return e.wheel.peekMin()
+	}
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // push inserts an event into whichever queue backs the engine.
 func (e *Engine) push(ev event) {
 	if e.wheel != nil {

@@ -1,0 +1,502 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine is a conservative parallel discrete-event engine: a fixed
+// set of Engine domains advanced concurrently in bulk-synchronous windows.
+// The caller partitions the model so that every event either stays inside
+// one domain (scheduled on that domain's Engine as usual) or crosses
+// domains with at least `window` nanoseconds of lookahead, in which case it
+// goes through Send and a per-(src,dst) mailbox.
+//
+// One window executes [W, W+window) where W is the global next-event time,
+// so idle stretches are skipped in one step. Within the window every domain
+// runs its own events on its own timing wheel with no synchronization;
+// cross-domain sends are buffered. At the barrier the buffered sends are
+// merged into the destination wheels in (at, born, src, seq) order — a
+// total order independent of worker count and scheduling, which makes a
+// sharded run bit-for-bit reproducible and, for models whose same-instant
+// cross-domain events are ordered the same way serially (see DESIGN.md
+// §10), identical to the serial engine.
+//
+// Safety argument: an event executing at te ∈ [W, W+window) can only
+// schedule cross-domain work at te+window or later, which is ≥ W+window —
+// strictly after the window every domain is concurrently executing. So no
+// domain can receive a cross-domain event for the window it is currently
+// running, and merging at the barrier preserves timestamp order.
+type ShardedEngine struct {
+	doms    []*Engine
+	window  Time
+	workers int
+
+	// out[src][dst] buffers cross-domain events produced by domain src for
+	// domain dst during the current window. Only the worker running src
+	// touches it during the run phase; only the worker owning dst drains it
+	// during the merge phase (phases are barrier-separated).
+	out     [][][]xevent
+	scratch [][]xevent // per-dst merge buffer, reused across windows
+	seqs    []uint64   // per-src cross-send sequence (monotonic over the run)
+
+	// Per-domain send bookkeeping for the window just run: how many events
+	// the domain emitted and the earliest timestamp among them. The
+	// coordinator folds these into pendingCross/crossMin between barriers.
+	sent    []uint64
+	minSent []Time
+
+	// Published by the coordinator before barrier A, read by workers after.
+	lim       Time
+	needMerge bool
+	exit      bool
+
+	bar barrier
+
+	// Coordinator-only state.
+	pendingCross uint64
+	crossMin     Time
+	running      bool
+	globalNow    Time
+	globals      []globalEvent
+	gseq         uint64
+
+	// Per-worker merge stats (slot per worker to avoid write sharing on the
+	// hot path; folded into stats by the coordinator after the run).
+	mergeBatches []uint64
+	mergeHW      []int
+
+	stats ShardStats
+}
+
+// xevent is one cross-domain event in a mailbox. born is the sender's
+// virtual time at Send; together with (src, seq) it extends the timestamp
+// into the total merge order.
+type xevent struct {
+	at   Time
+	born Time
+	src  int32
+	seq  uint64
+	fn1  func(any)
+	arg  any
+}
+
+// globalEvent is a coordinator-run callback (see Global).
+type globalEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// ShardStats exposes the parallel engine's internals for throughput
+// diagnostics (cmd/ucmpbench -schedstats with -shards).
+type ShardStats struct {
+	// Windows is the number of bulk-synchronous windows executed.
+	Windows uint64
+	// Barriers counts barrier crossings (two per window, three when a merge
+	// phase ran).
+	Barriers uint64
+	// CrossEvents counts events routed through the mailboxes.
+	CrossEvents uint64
+	// MergeBatches counts non-empty per-destination merge batches.
+	MergeBatches uint64
+	// MailboxHighWater is the largest single merge batch observed.
+	MailboxHighWater int
+}
+
+// NewShardedEngine builds a parallel engine with `domains` independent
+// Engine instances (each backed by the given queue kind), run by `workers`
+// goroutines (clamped to [1, domains]) in windows of `window` nanoseconds.
+// The window must be a lower bound on the latency of every cross-domain
+// event: Send panics when violated.
+func NewShardedEngine(domains, workers int, window Time, kind QueueKind) *ShardedEngine {
+	if domains < 1 {
+		panic("sim: sharded engine needs at least one domain")
+	}
+	if window < 1 {
+		panic("sim: sharded window must be at least 1ns")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > domains {
+		workers = domains
+	}
+	s := &ShardedEngine{
+		doms:         make([]*Engine, domains),
+		window:       window,
+		workers:      workers,
+		out:          make([][][]xevent, domains),
+		scratch:      make([][]xevent, domains),
+		seqs:         make([]uint64, domains),
+		sent:         make([]uint64, domains),
+		minSent:      make([]Time, domains),
+		crossMin:     maxTime,
+		mergeBatches: make([]uint64, workers),
+		mergeHW:      make([]int, workers),
+	}
+	for i := range s.doms {
+		s.doms[i] = NewEngineQueue(kind)
+		s.out[i] = make([][]xevent, domains)
+	}
+	s.bar.init(workers)
+	return s
+}
+
+// Domains returns the number of domains.
+func (s *ShardedEngine) Domains() int { return len(s.doms) }
+
+// Domain returns domain i's Engine. Before Run (model construction) it may
+// be used freely; during Run only events executing inside domain i may
+// touch it.
+func (s *ShardedEngine) Domain(i int) *Engine { return s.doms[i] }
+
+// Window returns the lookahead window in nanoseconds.
+func (s *ShardedEngine) Window() Time { return s.window }
+
+// Workers returns the number of worker goroutines Run uses.
+func (s *ShardedEngine) Workers() int { return s.workers }
+
+// Send schedules fn(arg) at absolute time `at` in domain dst, from an event
+// currently executing in domain src. It must satisfy the lookahead
+// contract: at >= src's current time + window.
+func (s *ShardedEngine) Send(src, dst int, at Time, fn func(any), arg any) {
+	d := s.doms[src]
+	if at < d.now+s.window {
+		panic(fmt.Sprintf("sim: cross-domain send at %v violates lookahead (now %v + window %v)",
+			at, d.now, s.window))
+	}
+	s.seqs[src]++
+	s.out[src][dst] = append(s.out[src][dst], xevent{
+		at: at, born: d.now, src: int32(src), seq: s.seqs[src], fn1: fn, arg: arg,
+	})
+	s.sent[src]++
+	if at < s.minSent[src] {
+		s.minSent[src] = at
+	}
+}
+
+// Global schedules fn at absolute time `at` on the coordinator, outside any
+// domain. Global callbacks run between windows with every worker parked at
+// the barrier, so they may read (and carefully write) cross-domain state —
+// the harness uses them for fabric-wide sampling. Windows never straddle a
+// global's timestamp. Global may be called before Run or from within a
+// global callback, not from domain events.
+func (s *ShardedEngine) Global(at Time, fn func()) {
+	if at < s.globalNow {
+		panic(fmt.Sprintf("sim: scheduling global event at %v before now %v", at, s.globalNow))
+	}
+	s.gseq++
+	s.globals = append(s.globals, globalEvent{at: at, seq: s.gseq, fn: fn})
+}
+
+// GlobalNow returns the coordinator's virtual time: the timestamp of the
+// running global callback, or the horizon reached by the last Run.
+func (s *ShardedEngine) GlobalNow() Time { return s.globalNow }
+
+// Processed sums the events executed across all domains.
+func (s *ShardedEngine) Processed() uint64 {
+	var n uint64
+	for _, d := range s.doms {
+		n += d.processed
+	}
+	return n
+}
+
+// SchedStats aggregates per-domain scheduler internals: counters sum, the
+// pending high-water mark takes the max.
+func (s *ShardedEngine) SchedStats() SchedStats {
+	var out SchedStats
+	for _, d := range s.doms {
+		st := d.SchedStats()
+		if st.PendingHighWater > out.PendingHighWater {
+			out.PendingHighWater = st.PendingHighWater
+		}
+		out.Cascades += st.Cascades
+		out.OverflowPushes += st.OverflowPushes
+		out.Cancels += st.Cancels
+		out.DeadPops += st.DeadPops
+		out.Chases += st.Chases
+	}
+	return out
+}
+
+// Stats returns the parallel-engine counters accumulated so far.
+func (s *ShardedEngine) Stats() ShardStats {
+	out := s.stats
+	for w := 0; w < s.workers; w++ {
+		out.MergeBatches += s.mergeBatches[w]
+		if s.mergeHW[w] > out.MailboxHighWater {
+			out.MailboxHighWater = s.mergeHW[w]
+		}
+	}
+	return out
+}
+
+// nextEventTime is the earliest pending timestamp across domains and
+// unmerged mailboxes.
+func (s *ShardedEngine) nextEventTime() (Time, bool) {
+	t := s.crossMin
+	for _, d := range s.doms {
+		if at, ok := d.NextAt(); ok && at < t {
+			t = at
+		}
+	}
+	return t, t != maxTime
+}
+
+// popGlobal removes and returns the earliest global event.
+func (s *ShardedEngine) popGlobal() globalEvent {
+	best := 0
+	for i := 1; i < len(s.globals); i++ {
+		g, b := s.globals[i], s.globals[best]
+		if g.at < b.at || (g.at == b.at && g.seq < b.seq) {
+			best = i
+		}
+	}
+	g := s.globals[best]
+	s.globals = append(s.globals[:best], s.globals[best+1:]...)
+	return g
+}
+
+// minGlobalAt returns the earliest scheduled global timestamp.
+func (s *ShardedEngine) minGlobalAt() (Time, bool) {
+	if len(s.globals) == 0 {
+		return 0, false
+	}
+	t := s.globals[0].at
+	for _, g := range s.globals[1:] {
+		if g.at < t {
+			t = g.at
+		}
+	}
+	return t, true
+}
+
+// Run executes events across all domains until every pending event
+// (domain-local, mailbox, and global) is later than `until`, then advances
+// every domain to `until`. The coordinator (the calling goroutine) is
+// worker 0; workers-1 additional goroutines are spawned per Run and joined
+// before it returns.
+func (s *ShardedEngine) Run(until Time) Time {
+	if s.running {
+		panic("sim: ShardedEngine.Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	// Participants enter each Run with fresh sense flags; the barrier's
+	// shared state must match or a leftover sense from a previous Run lets
+	// an early arrival fall through.
+	s.bar.reset()
+
+	var wg sync.WaitGroup
+	for w := 1; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("shard-worker", strconv.Itoa(w)), func(context.Context) {
+				s.workerLoop(w)
+			})
+		}(w)
+	}
+
+	coordSense := uint32(0)
+	for {
+		t, ok := s.nextEventTime()
+		// Fire globals that precede the next domain event; workers are
+		// parked at barrier A, so a global has exclusive access.
+		for {
+			g, gok := s.minGlobalAt()
+			if !gok || g > until || (ok && g > t) {
+				break
+			}
+			ev := s.popGlobal()
+			s.globalNow = ev.at
+			ev.fn()
+			t, ok = s.nextEventTime() // the callback may have scheduled work
+		}
+		if !ok || t > until {
+			break
+		}
+		lim := t + s.window - 1
+		if g, gok := s.minGlobalAt(); gok && g-1 < lim {
+			lim = g - 1 // never straddle a global's timestamp
+		}
+		if lim > until {
+			lim = until
+		}
+		s.lim = lim
+		s.needMerge = s.pendingCross > 0
+		s.stats.Windows++
+		s.stats.Barriers += 2
+		if s.needMerge {
+			s.stats.Barriers++
+			s.stats.CrossEvents += s.pendingCross
+		}
+		s.bar.wait(&coordSense) // A: window published
+		if s.needMerge {
+			s.mergeFor(0)
+			s.bar.wait(&coordSense) // B: mailboxes drained
+			s.pendingCross = 0
+			s.crossMin = maxTime
+		}
+		s.runFor(0)
+		s.bar.wait(&coordSense) // C: window executed
+		for d := range s.doms {
+			s.pendingCross += s.sent[d]
+			if s.minSent[d] < s.crossMin {
+				s.crossMin = s.minSent[d]
+			}
+		}
+	}
+	// Horizon: advance every domain to until (matching Engine.Run) and
+	// release the workers. Mailbox events beyond the horizon stay buffered
+	// for a later Run.
+	for _, d := range s.doms {
+		d.Run(until)
+	}
+	s.exit = true
+	s.bar.wait(&coordSense)
+	wg.Wait()
+	s.exit = false
+	s.globalNow = until
+	return until
+}
+
+// workerLoop is the body of workers 1..N-1; the coordinator inlines the
+// same phase sequence inside Run.
+func (s *ShardedEngine) workerLoop(w int) {
+	sense := uint32(0)
+	for {
+		s.bar.wait(&sense) // A
+		if s.exit {
+			return
+		}
+		if s.needMerge {
+			s.mergeFor(w)
+			s.bar.wait(&sense) // B
+		}
+		s.runFor(w)
+		s.bar.wait(&sense) // C
+	}
+}
+
+// runFor executes the current window in every domain worker w owns
+// (domains are striped d % workers == w).
+func (s *ShardedEngine) runFor(w int) {
+	for d := w; d < len(s.doms); d += s.workers {
+		s.sent[d] = 0
+		s.minSent[d] = maxTime
+		s.doms[d].Run(s.lim)
+	}
+}
+
+// mergeFor drains the mailboxes of every destination worker w owns into
+// the destination wheels, in (at, born, src, seq) order.
+func (s *ShardedEngine) mergeFor(w int) {
+	nd := len(s.doms)
+	for dst := w; dst < nd; dst += s.workers {
+		buf := s.scratch[dst][:0]
+		for src := 0; src < nd; src++ {
+			if q := s.out[src][dst]; len(q) > 0 {
+				buf = append(buf, q...)
+				s.out[src][dst] = q[:0]
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sortXevents(buf)
+		e := s.doms[dst]
+		for i := range buf {
+			e.At1(buf[i].at, buf[i].fn1, buf[i].arg)
+			buf[i] = xevent{} // don't pin fn/arg until the next merge
+		}
+		s.mergeBatches[w]++
+		if len(buf) > s.mergeHW[w] {
+			s.mergeHW[w] = len(buf)
+		}
+		s.scratch[dst] = buf[:0]
+	}
+}
+
+func xeventLess(a, b *xevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.born != b.born {
+		return a.born < b.born
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// sortXevents orders a merge batch: insertion sort for the common tiny
+// batches, sort.Slice beyond.
+func sortXevents(buf []xevent) {
+	if len(buf) <= 24 {
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && xeventLess(&buf[j], &buf[j-1]); j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+		return
+	}
+	sort.Slice(buf, func(i, j int) bool { return xeventLess(&buf[i], &buf[j]) })
+}
+
+// barrier is a sense-reversing centralized barrier over atomics. Arrivals
+// spin briefly, then yield — on a machine with fewer cores than workers a
+// pure spin would starve the worker the barrier is waiting for. The
+// happens-before chain (arrival Add, release Store, waiter Load) makes
+// plain fields written before a wait visible to every worker after it.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+	spin  int
+}
+
+func (b *barrier) init(n int) {
+	b.n = int32(n)
+	b.spin = 10000
+	if runtime.GOMAXPROCS(0) < n {
+		b.spin = 0
+	}
+}
+
+// reset restores the no-arrivals state. Only valid with no participant
+// inside wait (Run calls it before spawning workers).
+func (b *barrier) reset() {
+	b.count.Store(0)
+	b.sense.Store(0)
+}
+
+// wait blocks until all n participants arrive. sense is the caller's
+// per-participant flag, flipped on every crossing.
+func (b *barrier) wait(sense *uint32) {
+	if b.n == 1 {
+		return
+	}
+	ns := *sense ^ 1
+	*sense = ns
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(ns)
+		return
+	}
+	for i := 0; b.sense.Load() != ns; i++ {
+		if i >= b.spin {
+			runtime.Gosched()
+		}
+	}
+}

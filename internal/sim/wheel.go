@@ -231,6 +231,49 @@ func (w *timingWheel) migrate() {
 	}
 }
 
+// peekMin returns the time of the earliest pending event without mutating
+// any wheel state — no cursor advance, no cascading, no overflow
+// migration. The sharded coordinator probes domains with it between
+// windows; a mutating probe (popLE at a far horizon) could advance the
+// cursor past events merged in later and break the "cursor never passes a
+// pending event" invariant.
+//
+// Why the first occupied slot at the lowest occupied upper level holds the
+// global minimum: every wheel event matches the cursor in all bit groups
+// above its level and exceeds the cursor's value in its own group (the
+// cursor never passes a pending event). Comparing a level-l event with a
+// level-(l+1) event, both match cur above group l+1; the level-l event
+// equals cur in group l+1 while the level-(l+1) event exceeds it — so any
+// lower-level event is earlier. Within one level, the slot index is the
+// group value, so the first occupied slot ahead of the cursor bounds all
+// others; events inside one slot differ only below the group, hence the
+// list walk for the exact minimum. Overflow events live in a later
+// top-level window than everything wheel-resident.
+func (w *timingWheel) peekMin() (Time, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	if s, ok := w.scan0(int(uint64(w.cur)) & l0Mask); ok {
+		return w.cur&^Time(l0Mask) | Time(s), true
+	}
+	for l := 0; l < upLevels; l++ {
+		shift := uint(l0Bits + l*wheelBits)
+		idx := int(uint64(w.cur)>>shift) & wheelMask
+		s, ok := w.scanUp(l, idx+1)
+		if !ok {
+			continue
+		}
+		min := maxTime
+		for n := w.slots[l][s].head; n >= 0; n = w.nodes[n].next {
+			if at := w.nodes[n].ev.at; at < min {
+				min = at
+			}
+		}
+		return min, true
+	}
+	return w.overflow[0].at, true
+}
+
 // popLE removes and returns the earliest event if its time is <= limit.
 // Cursor advancement (and with it cascading/migration) is bounded by
 // limit, so a horizon probe never moves the cursor past the engine's

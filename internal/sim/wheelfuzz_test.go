@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestWheelBoundaryFuzz stresses the timing wheel exactly where placement
+// changes shape: offsets on and adjacent to every level boundary (4096 ns,
+// 2^20 ns, 2^28 ns) and the 2^36 ns ≈ 69 s horizon (overflow-heap parking
+// and migration), scheduled from randomized cursor positions, mixed with
+// same-instant bursts. The heap engine is the oracle: firing traces, the
+// engine end state, and every intermediate NextAt probe must match, which
+// also pins the non-mutating peekMin across cascade/migration states.
+func TestWheelBoundaryFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			wheel := runBoundaryScript(QueueWheel, seed)
+			heap := runBoundaryScript(QueueHeap, seed)
+			if len(wheel) != len(heap) {
+				t.Fatalf("trace lengths differ: wheel=%d heap=%d", len(wheel), len(heap))
+			}
+			for i := range wheel {
+				if wheel[i] != heap[i] {
+					t.Fatalf("traces diverge at %d:\n  wheel: %s\n  heap:  %s", i, wheel[i], heap[i])
+				}
+			}
+		})
+	}
+}
+
+// runBoundaryScript schedules boundary-straddling batches from varied
+// cursor offsets and drains with interleaved horizon probes. Event ids are
+// assigned in scheduling order, so within one instant the trace must list
+// ids ascending — checked directly, in addition to the differential
+// comparison.
+func runBoundaryScript(kind QueueKind, seed int64) []string {
+	e := NewEngineQueue(kind)
+	rng := rand.New(rand.NewSource(seed))
+	var trace []string
+	id := 0
+	lastAt, lastID := Time(-1), -1
+	sched := func(at Time) {
+		if at < e.Now() {
+			return
+		}
+		id++
+		my := id
+		e.At(at, func() {
+			now := e.Now()
+			if now < lastAt || (now == lastAt && my < lastID) {
+				trace = append(trace, fmt.Sprintf("ORDER VIOLATION %d@%d after %d@%d", my, now, lastID, lastAt))
+			}
+			lastAt, lastID = now, my
+			trace = append(trace, fmt.Sprintf("%d@%d", my, now))
+		})
+	}
+
+	boundaries := []Time{
+		1 << l0Bits,                 // level 0 -> 1
+		1 << (l0Bits + wheelBits),   // level 1 -> 2
+		1 << (l0Bits + 2*wheelBits), // level 2 -> 3
+		1 << horizonBits,            // wheel horizon -> overflow heap
+	}
+	for round := 0; round < 25; round++ {
+		// Park the cursor at an arbitrary sub-slot offset before inserting.
+		e.Run(e.Now() + Time(rng.Int63n(int64(Millisecond))))
+		now := e.Now()
+		for _, b := range boundaries {
+			for _, d := range []Time{-1, 0, 1} {
+				sched(now + b + d)
+			}
+		}
+		// Same-instant burst straddling a random boundary.
+		at := now + boundaries[rng.Intn(len(boundaries))] + Time(rng.Int63n(3)) - 1
+		for j := 0; j < 3; j++ {
+			sched(at)
+		}
+		// A few unstructured events to vary slot occupancy.
+		for j := 0; j < 4; j++ {
+			sched(now + Time(rng.Int63n(int64(2*Second))))
+		}
+		// Horizon probe (peekMin on the wheel, heap[0] on the heap).
+		if at, ok := e.NextAt(); ok {
+			trace = append(trace, fmt.Sprintf("next=%d", int64(at)))
+		} else {
+			trace = append(trace, "next=none")
+		}
+		// Partial drains exercise limit-bounded cascades and migrations.
+		if round%3 == 2 {
+			e.Run(e.Now() + boundaries[rng.Intn(len(boundaries))] + Time(rng.Int63n(5)) - 2)
+			trace = append(trace, fmt.Sprintf("seg now=%d pending=%d processed=%d",
+				e.Now(), e.Pending(), e.Processed()))
+			if at, ok := e.NextAt(); ok {
+				trace = append(trace, fmt.Sprintf("next=%d", int64(at)))
+			}
+		}
+	}
+	e.RunAll()
+	trace = append(trace, fmt.Sprintf("end now=%d pending=%d processed=%d",
+		e.Now(), e.Pending(), e.Processed()))
+	return trace
+}
+
+// TestWheelPeekMinExact pins peekMin against a draining oracle in targeted
+// shapes: min in level 0, min only reachable through an upper-level slot
+// walk (same slot, different times), and min in the overflow heap.
+func TestWheelPeekMinExact(t *testing.T) {
+	e := NewEngine()
+	check := func(want Time) {
+		t.Helper()
+		got, ok := e.NextAt()
+		if !ok || got != want {
+			t.Fatalf("NextAt = %v,%v, want %v", got, ok, want)
+		}
+	}
+	// Level 0.
+	e.At(5, func() {})
+	check(5)
+	// Upper level: two events in the same level-1 slot; the later scheduled
+	// earlier, so the slot list head is not the minimum.
+	e2 := NewEngine()
+	e2.At(1<<l0Bits+900, func() {})
+	e2.At(1<<l0Bits+100, func() {})
+	if got, ok := e2.NextAt(); !ok || got != 1<<l0Bits+100 {
+		t.Fatalf("upper-level NextAt = %v,%v, want %v", got, ok, Time(1<<l0Bits+100))
+	}
+	// Overflow only.
+	e3 := NewEngine()
+	far := Time(1)<<horizonBits + 12345
+	e3.At(far, func() {})
+	if got, ok := e3.NextAt(); !ok || got != far {
+		t.Fatalf("overflow NextAt = %v,%v, want %v", got, ok, far)
+	}
+	// Empty.
+	e4 := NewEngine()
+	if _, ok := e4.NextAt(); ok {
+		t.Fatal("NextAt on empty engine reported an event")
+	}
+	// peekMin must not mutate: draining after the probe still fires in order.
+	var got []Time
+	e2.At(3, func() { got = append(got, e2.Now()) })
+	e2.RunAll()
+	if e2.Processed() != 3 {
+		t.Fatalf("processed %d, want 3", e2.Processed())
+	}
+}

@@ -40,7 +40,7 @@ func (s *Stack) launchMPTCP(f *netsim.Flow) func() {
 		child.Child = true
 		s.Net.RegisterFlow(child)
 		snd := newTCPSender(s.Net, child, true, s.rto())
-		rcv := &tcpReceiver{net: s.Net, f: child, ivs: &intervalSet{}}
+		rcv := &tcpReceiver{net: s.Net, f: child, host: s.Net.Hosts[child.DstHost], ivs: &intervalSet{}}
 		child.SenderEP = snd
 		child.ReceiverEP = mptcpAggregator{parent: f, child: child, inner: rcv, net: s.Net}
 		starts = append(starts, snd.start)

@@ -43,7 +43,7 @@ func (s *ndpSender) sendNew() {
 }
 
 func (s *ndpSender) emit(seq int64, length int) {
-	p := s.net.NewPacket()
+	p := s.host.NewPacket()
 	p.Flow = s.f
 	p.Type = netsim.Data
 	p.Seq = seq
@@ -102,7 +102,7 @@ func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
 		net: stack.Net, f: f, host: host, ivs: &intervalSet{},
 		pacer: stack.pacer(f.DstHost), rto: stack.rto(),
 	}
-	r.repair = stack.Net.Eng.NewTimer(r.repairTick)
+	r.repair = host.Eng().NewTimer(r.repairTick)
 	return r
 }
 
@@ -113,7 +113,7 @@ func (r *ndpReceiver) armRepair() {
 		r.repair.Cancel()
 		return
 	}
-	r.repair.Reset(r.net.Eng.Now() + r.rto)
+	r.repair.Reset(r.host.Now() + r.rto)
 }
 
 // repairTick NACKs missing chunks once the flow has gone quiet for an RTO.
@@ -158,7 +158,7 @@ func (r *ndpReceiver) Deliver(p *netsim.Packet) {
 }
 
 func (r *ndpReceiver) sendNack(seq int64) {
-	nack := r.net.NewPacket()
+	nack := r.host.NewPacket()
 	nack.Flow = r.f
 	nack.Type = netsim.Nack
 	nack.Seq = seq
@@ -170,7 +170,7 @@ func (r *ndpReceiver) sendPull() {
 	if r.f.Finished {
 		return
 	}
-	pull := r.net.NewPacket()
+	pull := r.host.NewPacket()
 	pull.Flow = r.f
 	pull.Type = netsim.Pull
 	pull.WireLen = netsim.HeaderBytes
@@ -179,10 +179,11 @@ func (r *ndpReceiver) sendPull() {
 
 // pullPacer spaces PULLs of all flows terminating at one host at the link
 // rate (one MTU serialization per pull), the core of NDP's receiver-driven
-// allocation.
+// allocation. It lives on the receiving host's domain engine: every flow it
+// paces terminates at that host.
 type pullPacer struct {
 	net      *netsim.Network
-	host     int
+	host     *netsim.Host
 	queue    []*ndpReceiver
 	qhead    int
 	nextFree sim.Time
@@ -192,8 +193,8 @@ type pullPacer struct {
 func (s *Stack) pacer(host int) *pullPacer {
 	p, ok := s.pacers[host]
 	if !ok {
-		p = &pullPacer{net: s.Net, host: host}
-		p.timer = s.Net.Eng.NewTimer(p.drain)
+		p = &pullPacer{net: s.Net, host: s.Net.Hosts[host]}
+		p.timer = p.host.Eng().NewTimer(p.drain)
 		s.pacers[host] = p
 	}
 	return p
@@ -205,7 +206,7 @@ func (p *pullPacer) request(r *ndpReceiver) {
 }
 
 func (p *pullPacer) drain() {
-	now := p.net.Eng.Now()
+	now := p.host.Now()
 	if now < p.nextFree {
 		// Still serializing the previous pull. Make sure a drain is armed:
 		// a request can arrive in this window with no event outstanding

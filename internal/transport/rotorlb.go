@@ -43,7 +43,7 @@ func (s *rotorSender) push() {
 		if s.next+length > s.f.Size {
 			length = s.f.Size - s.next
 		}
-		p := s.net.NewPacket()
+		p := s.host.NewPacket()
 		p.Flow = s.f
 		p.Type = netsim.Data
 		p.Seq = s.next

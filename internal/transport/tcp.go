@@ -47,7 +47,7 @@ func newTCPSender(n *netsim.Network, f *netsim.Flow, dctcp bool, rto sim.Time) *
 		ssthresh: 1 << 30,
 		alpha:    1,
 	}
-	s.rtoT = n.Eng.NewTimer(s.onTimeout)
+	s.rtoT = s.host.Eng().NewTimer(s.onTimeout)
 	return s
 }
 
@@ -71,7 +71,7 @@ func (s *tcpSender) pump() {
 
 // emit sends one data segment.
 func (s *tcpSender) emit(seq int64, length int, rtx bool) {
-	p := s.net.NewPacket()
+	p := s.host.NewPacket()
 	p.Flow = s.f
 	p.Type = netsim.Data
 	p.Seq = seq
@@ -82,9 +82,13 @@ func (s *tcpSender) emit(seq int64, length int, rtx bool) {
 	s.host.Send(p)
 }
 
-// Deliver implements netsim.Endpoint for ACKs.
+// Deliver implements netsim.Endpoint for ACKs. The sender judges
+// completion from its own ack state (sndUna), never from f.Finished: that
+// flag is written by the receiver's lookahead domain, and reading it here
+// would be a zero-lookahead cross-domain read — racy under the sharded
+// engine and nondeterministic even when it happens to be visible.
 func (s *tcpSender) Deliver(p *netsim.Packet) {
-	if p.Type != netsim.Ack || s.f.Finished {
+	if p.Type != netsim.Ack || s.sndUna >= s.f.Size {
 		return
 	}
 	cum := p.Seq
@@ -152,15 +156,15 @@ func (s *tcpSender) fastRetransmit() {
 // armTimer (re)sets the retransmission timer, or cancels it once all data
 // is acked.
 func (s *tcpSender) armTimer() {
-	if s.sndUna >= s.f.Size || s.f.Finished {
+	if s.sndUna >= s.f.Size {
 		s.rtoT.Cancel()
 		return
 	}
-	s.rtoT.Reset(s.net.Eng.Now() + s.rto)
+	s.rtoT.Reset(s.host.Now() + s.rto)
 }
 
 func (s *tcpSender) onTimeout() {
-	if s.f.Finished || s.sndUna >= s.f.Size {
+	if s.sndUna >= s.f.Size {
 		return
 	}
 	// Go-back-N: restart from the first unacked byte.
@@ -172,11 +176,13 @@ func (s *tcpSender) onTimeout() {
 	s.pump()
 }
 
-// tcpReceiver acks every data packet cumulatively, echoing ECN marks.
+// tcpReceiver acks every data packet cumulatively, echoing ECN marks. It
+// runs entirely in the destination host's domain.
 type tcpReceiver struct {
-	net *netsim.Network
-	f   *netsim.Flow
-	ivs *intervalSet
+	net  *netsim.Network
+	f    *netsim.Flow
+	host *netsim.Host
+	ivs  *intervalSet
 }
 
 // Deliver implements netsim.Endpoint for data.
@@ -186,13 +192,13 @@ func (r *tcpReceiver) Deliver(p *netsim.Packet) {
 	}
 	newBytes := r.ivs.add(p.Seq, p.Seq+int64(p.PayloadLen))
 	r.net.RecordDelivered(r.f, newBytes)
-	ack := r.net.NewPacket()
+	ack := r.host.NewPacket()
 	ack.Flow = r.f
 	ack.Type = netsim.Ack
 	ack.Seq = r.ivs.cumulative()
 	ack.WireLen = netsim.HeaderBytes
 	ack.EchoECN = p.ECNMarked
-	r.net.Hosts[r.f.DstHost].Send(ack)
+	r.host.Send(ack)
 }
 
 func maxF(a, b float64) float64 {

@@ -64,7 +64,12 @@ func (s *Stack) Launch(f *netsim.Flow) {
 	if f.RotorClass {
 		kind = Rotor
 	}
-	var start func()
+	// start runs on the source host's engine; rcvStart (when set) runs on
+	// the destination host's engine at the same instant, so each endpoint's
+	// state — including its timers — lives entirely in its own host's
+	// lookahead domain. In serial mode both engines are the network engine
+	// and the two events fire back to back, matching the old combined start.
+	var start, rcvStart func()
 	switch kind {
 	case MPTCP:
 		start = s.launchMPTCP(f)
@@ -77,23 +82,30 @@ func (s *Stack) Launch(f *netsim.Flow) {
 		snd := newNDPSender(s.Net, f)
 		rcv := newNDPReceiver(s, f)
 		f.SenderEP, f.ReceiverEP = snd, rcv
-		start = func() {
-			snd.start()
-			rcv.armRepair()
-		}
+		start = snd.start
+		rcvStart = rcv.armRepair
 	case DCTCP, TCP:
 		snd := newTCPSender(s.Net, f, kind == DCTCP, s.rto())
-		rcv := &tcpReceiver{net: s.Net, f: f, ivs: &intervalSet{}}
+		rcv := &tcpReceiver{net: s.Net, f: f, host: s.Net.Hosts[f.DstHost], ivs: &intervalSet{}}
 		f.SenderEP, f.ReceiverEP = snd, rcv
 		start = snd.start
 	default:
 		panic(fmt.Sprintf("transport: unknown kind %q", kind))
 	}
+	src := s.Net.Hosts[f.SrcHost]
 	at := f.Arrival
-	if now := s.Net.Eng.Now(); at < now {
+	if now := src.Now(); at < now {
 		at = now
 	}
-	s.Net.Eng.At(at, start)
+	src.Eng().At(at, start)
+	if rcvStart != nil {
+		dst := s.Net.Hosts[f.DstHost]
+		rcvAt := at
+		if now := dst.Now(); rcvAt < now {
+			rcvAt = now
+		}
+		dst.Eng().At(rcvAt, rcvStart)
+	}
 }
 
 func (s *Stack) rto() sim.Time {

@@ -289,7 +289,7 @@ func TestReceiverHandlesReordering(t *testing.T) {
 	net.Start()
 	fl := netsim.NewFlow(1, 0, 17, 10*MSS, 0)
 	net.RegisterFlow(fl)
-	rcv := &tcpReceiver{net: net, f: fl, ivs: &intervalSet{}}
+	rcv := &tcpReceiver{net: net, f: fl, host: net.Hosts[fl.DstHost], ivs: &intervalSet{}}
 	fl.ReceiverEP = rcv
 	fl.SenderEP = sinkEndpoint{}
 	// Deliver segments in a shuffled order, with one duplicate.
