@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5
 
 check: vet staticcheck build test race
 
@@ -79,3 +79,18 @@ bench-pr4:
 		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr3.json -maxregress 0.10 \
 			-method "GOMAXPROCS=1 make bench-pr4 (sharded conservative-PDES engine; baseline: results/BENCH_pr3.json; single-core container, so Saturation64Sharded records overhead, not speedup)" \
 			> results/BENCH_pr4.json
+
+# bench-pr5 refreshes the fault-injection record: the PR-4 hot-path
+# benchmarks rerun with no failure timeline — the zero-cost gate, held to
+# 10% regression against results/BENCH_pr4.json because a nil fault state
+# must cost one branch — plus SaturationFailover, which prices route
+# planning and packet recovery with an active failure schedule (new in this
+# record, so it carries no baseline comparison).
+bench-pr5:
+	GOMAXPROCS=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$|BenchmarkSaturation64$$|BenchmarkSaturation64Sharded$$|BenchmarkSaturationFailover$$' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/netsim \
+		| tee results/bench_pr5_raw.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr4.json -maxregress 0.10 \
+			-method "GOMAXPROCS=1 make bench-pr5 (runtime fault injection; baseline: results/BENCH_pr4.json; empty-timeline hot paths gated at 10%)" \
+			> results/BENCH_pr5.json

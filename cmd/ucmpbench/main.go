@@ -56,7 +56,7 @@ var allExps = []string{
 	"fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6d",
 	"fig7", "fig8", "fig9", "fig10", "fig11",
 	"fig12", "fig12d", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ablation", "extension", "sweep",
+	"ablation", "extension", "sweep", "failsweep",
 }
 
 func main() {
@@ -340,6 +340,12 @@ func (r *runner) run(exp string) error {
 			return err
 		}
 		fmt.Println(rep3)
+	case "failsweep":
+		rep, _, err := harness.FailureSweep(r.simBase(), []float64{0, 0.02, 0.05, 0.1})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
 	case "sweep":
 		trials := harness.SweepLoad(r.simBase(),
 			[]harness.RoutingKind{harness.UCMP, harness.VLB, harness.KSP5},

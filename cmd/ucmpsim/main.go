@@ -41,7 +41,12 @@ func main() {
 		horizonF   = flag.Duration("horizon", 0, "simulation horizon (0 = 4x duration)")
 		seedF      = flag.Int64("seed", 1, "workload seed")
 		clipF      = flag.Int64("maxflow", 64<<20, "clip flow sizes to this many bytes (0 = off)")
-		failF      = flag.Float64("faillinks", 0, "fraction of uplink cables failed")
+		failF      = flag.Float64("faillinks", 0, "fraction of uplink cables failed from the start (router-visible)")
+		rtTorsF    = flag.Float64("failtors", 0, "fraction of ToRs failed at runtime (-failat)")
+		rtLinksF   = flag.Float64("faillinks-rt", 0, "fraction of uplink cables failed at runtime (-failat)")
+		rtSwF      = flag.Float64("failswitches", 0, "fraction of circuit switches failed at runtime (-failat)")
+		failAtF    = flag.Duration("failat", time.Millisecond, "when runtime failures strike")
+		repairAtF  = flag.Duration("repairat", -1, "when runtime failures repair (<0 = never)")
 		paper      = flag.Bool("paper", false, "use the paper's 108-ToR/100Gbps configuration")
 		flowsF     = flag.String("flows", "", "CSV flow trace to replay instead of the Poisson workload")
 		fctOutF    = flag.String("fctout", "", "write per-flow results to this CSV file")
@@ -77,6 +82,20 @@ func main() {
 		}
 	}
 
+	if *rtTorsF > 0 || *rtLinksF > 0 || *rtSwF > 0 {
+		repair := sim.Time(repairAtF.Nanoseconds())
+		if *repairAtF < 0 {
+			repair = -1
+		}
+		tl, err := harness.BuildFailureTimeline(cfg, *rtTorsF, *rtLinksF, *rtSwF,
+			sim.Time(failAtF.Nanoseconds()), repair)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ucmpsim:", err)
+			os.Exit(1)
+		}
+		cfg.Failures = tl
+	}
+
 	if *flowsF != "" {
 		fh, err := os.Open(*flowsF)
 		if err != nil {
@@ -108,6 +127,12 @@ func main() {
 		res.Efficiency, res.ReroutedFrac*100, res.Counters.DroppedPackets)
 	fmt.Printf("recirculation causes: expired=%d late=%d queue-full=%d\n",
 		res.Counters.ExpiredInCalendar, res.Counters.LateArrivals, res.Counters.CalendarFull)
+	if rec := res.Recovery; rec.Total() > 0 || rec.FaultDrops > 0 {
+		fmt.Printf("online recovery: same-length=%d shorter=%d longer=%d backup=%d failed=%d fault-drops=%d\n",
+			rec.SameLength, rec.Shorter, rec.Longer, rec.Backup, rec.Failed, rec.FaultDrops)
+		fmt.Printf("time to reroute: p50=%s p99=%s   histogram: %s\n",
+			rec.WaitPercentile(0.50), rec.WaitPercentile(0.99), rec.WaitHistogram())
+	}
 	fmt.Printf("mean ToR-to-host util: %.3f   mean ToR-to-ToR util: %.3f\n",
 		res.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToHostUtil }),
 		res.Collector.MeanUtil(1, func(s netsim.Sample) float64 { return s.TorToTorUtil }))

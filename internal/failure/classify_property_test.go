@@ -1,0 +1,197 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ucmp/internal/core"
+)
+
+// ---- pick input validation (the sampling contract) ----
+
+func TestPickRejectsGarbageFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, frac := range []float64{math.NaN(), -0.5, -math.Inf(1), 0} {
+		if got := pick(10, frac, rng); got != nil {
+			t.Fatalf("pick(10, %v) = %v, want nil", frac, got)
+		}
+	}
+	// Garbage fractions consume no randomness: the stream is untouched.
+	want := rng.Int63()
+	rng2 := rand.New(rand.NewSource(6))
+	pick(10, math.NaN(), rng2)
+	pick(10, -1, rng2)
+	if got := rng2.Int63(); got != want {
+		t.Fatal("rejected fraction consumed randomness")
+	}
+	if got := pick(0, 0.5, rng); got != nil {
+		t.Fatal("pick over an empty universe selected something")
+	}
+	if got := pick(-3, 0.5, rng); got != nil {
+		t.Fatal("pick over a negative universe selected something")
+	}
+}
+
+func TestPickClampsOvershoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, frac := range []float64{1.0001, 50, math.Inf(1), math.MaxFloat64} {
+		if got := pick(10, frac, rng); len(got) != 10 {
+			t.Fatalf("pick(10, %v) selected %d, want all 10", frac, len(got))
+		}
+	}
+}
+
+// TestPickCeilContract pins the rounding direction: the count is
+// ceil(frac*n), so nearby small fractions stay distinguishable on small
+// fabrics and any positive fraction fails at least one element.
+func TestPickCeilContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, tc := range []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{48, 0.01, 1}, {48, 0.03, 2}, {48, 0.05, 3},
+		{16, 0.1, 2}, {10, 1e-9, 1}, {10, 1.0, 10},
+	} {
+		got := pick(tc.n, tc.frac, rng)
+		if len(got) != tc.want {
+			t.Fatalf("pick(%d, %v) selected %d, want ceil = %d", tc.n, tc.frac, len(got), tc.want)
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= tc.n {
+				t.Fatalf("pick(%d, %v) out-of-range index %d", tc.n, tc.frac, i)
+			}
+			if seen[i] {
+				t.Fatalf("pick(%d, %v) duplicate index %d", tc.n, tc.frac, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// ---- Classify properties ----
+
+func TestClassifyProperties(t *testing.T) {
+	f, ps := fixture(t)
+	prop := func(seed int64, torF, linkF, swF uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := NewScenario(f).
+			FailToRs(float64(torF%40)/100, rng).
+			FailLinks(float64(linkF%40)/100, rng).
+			FailSwitches(float64(swF%34)/100, rng)
+		b := Classify(ps, sc)
+		if b.Affected < 0 || b.Affected > b.Total {
+			t.Logf("Affected %d outside [0, %d]", b.Affected, b.Total)
+			return false
+		}
+		var sum float64
+		for _, s := range b.Share {
+			if s < 0 || s > 1 {
+				t.Logf("share out of range: %v", b.Share)
+				return false
+			}
+			sum += s
+		}
+		if b.Affected == 0 {
+			if sum != 0 {
+				t.Logf("no affected paths but shares %v", b.Share)
+				return false
+			}
+			return true
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Logf("shares sum to %v: %v", sum, b.Share)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyAllHealthyIsZero(t *testing.T) {
+	f, ps := fixture(t)
+	b := Classify(ps, NewScenario(f))
+	if b.Affected != 0 {
+		t.Fatalf("healthy scenario affected %d", b.Affected)
+	}
+	if b.Share != [4]float64{} {
+		t.Fatalf("healthy scenario shares %v", b.Share)
+	}
+}
+
+// TestClassifyEntryOrderInvariance: the breakdown is a function of the set
+// of healthy alternatives, not of the order Groups happen to list them.
+// Shuffling every group's entries and paths must not change the result.
+func TestClassifyEntryOrderInvariance(t *testing.T) {
+	f, _ := fixture(t)
+	psA := core.BuildPathSet(f, 0.5)
+	psB := core.BuildPathSet(f, 0.5)
+	shuffle := rand.New(rand.NewSource(13))
+	sched := f.Sched
+	for ts := 0; ts < sched.S; ts++ {
+		for src := 0; src < sched.N; src++ {
+			for dst := 0; dst < sched.N; dst++ {
+				if src == dst {
+					continue
+				}
+				g := psB.Group(ts, src, dst)
+				shuffle.Shuffle(len(g.Entries), func(i, j int) {
+					g.Entries[i], g.Entries[j] = g.Entries[j], g.Entries[i]
+				})
+				for _, e := range g.Entries {
+					shuffle.Shuffle(len(e.Paths), func(i, j int) {
+						e.Paths[i], e.Paths[j] = e.Paths[j], e.Paths[i]
+					})
+				}
+			}
+		}
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		scA := NewScenario(f).FailToRs(0.1, rngA).FailLinks(0.05, rngA)
+		scB := NewScenario(f).FailToRs(0.1, rngB).FailLinks(0.05, rngB)
+		a, b := Classify(psA, scA), Classify(psB, scB)
+		if a.Total != b.Total || a.Affected != b.Affected || a.Share != b.Share {
+			t.Fatalf("seed %d: breakdown depends on entry order:\noriginal %+v\nshuffled %+v", seed, a, b)
+		}
+	}
+}
+
+// Fuzz the scenario space a little harder than quick.Check does, pinning
+// the invariants that every downstream consumer relies on.
+func FuzzClassifyInvariants(fz *testing.F) {
+	fz.Add(int64(1), 0.1, 0.05, 0.0)
+	fz.Add(int64(2), 0.0, 0.0, 0.33)
+	fz.Add(int64(3), 1.0, 1.0, 1.0)
+	fz.Add(int64(4), -0.5, math.NaN(), 2.0)
+	f, ps := fixture(fz)
+	fz.Fuzz(func(t *testing.T, seed int64, torF, linkF, swF float64) {
+		rng := rand.New(rand.NewSource(seed))
+		sc := NewScenario(f).FailToRs(torF, rng).FailLinks(linkF, rng).FailSwitches(swF, rng)
+		b := Classify(ps, sc)
+		if b.Affected < 0 || b.Affected > b.Total {
+			t.Fatalf("Affected %d outside [0, %d]", b.Affected, b.Total)
+		}
+		var sum float64
+		for _, s := range b.Share {
+			if s < 0 || s > 1 {
+				t.Fatalf("share out of range: %v", b.Share)
+			}
+			sum += s
+		}
+		if b.Affected > 0 && math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v with %d affected", sum, b.Affected)
+		}
+		if b.Affected == 0 && sum != 0 {
+			t.Fatalf("shares %v with nothing affected", b.Share)
+		}
+	})
+}

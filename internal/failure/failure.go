@@ -31,7 +31,39 @@ func NewScenario(f *topo.Fabric) *Scenario {
 	}
 }
 
-// FailToRs marks a fraction of ToRs failed.
+// Clone returns an independent copy of the scenario; mutating either copy
+// leaves the other untouched. The fault-timeline compiler snapshots epochs
+// with it.
+func (s *Scenario) Clone() *Scenario {
+	c := &Scenario{
+		F:          s.F,
+		torDown:    append([]bool(nil), s.torDown...),
+		linkDown:   make(map[[2]int]bool, len(s.linkDown)),
+		switchDown: append([]bool(nil), s.switchDown...),
+	}
+	for l, d := range s.linkDown {
+		c.linkDown[l] = d
+	}
+	return c
+}
+
+// SetTorDown marks one ToR failed (true) or repaired (false).
+func (s *Scenario) SetTorDown(tor int, down bool) { s.torDown[tor] = down }
+
+// SetLinkDown marks one (tor, switch) cable failed or repaired.
+func (s *Scenario) SetLinkDown(tor, sw int, down bool) {
+	if down {
+		s.linkDown[[2]int{tor, sw}] = true
+	} else {
+		delete(s.linkDown, [2]int{tor, sw})
+	}
+}
+
+// SetSwitchDown marks one circuit switch failed or repaired.
+func (s *Scenario) SetSwitchDown(sw int, down bool) { s.switchDown[sw] = down }
+
+// FailToRs marks a fraction of ToRs failed (see pick for the rounding and
+// clamping contract).
 func (s *Scenario) FailToRs(frac float64, rng *rand.Rand) *Scenario {
 	for _, i := range pick(s.F.Sched.N, frac, rng) {
 		s.torDown[i] = true
@@ -56,15 +88,20 @@ func (s *Scenario) FailSwitches(frac float64, rng *rand.Rand) *Scenario {
 	return s
 }
 
+// pick samples ceil(frac*n) distinct indices. The contract: NaN, negative,
+// and zero fractions select nothing (and consume no randomness); fractions
+// above 1 (and +Inf) select everything; in between the count rounds UP
+// (ceil), so nearby fractions stay distinguishable on small fabrics (1% vs
+// 3% of 48 links must differ).
 func pick(n int, frac float64, rng *rand.Rand) []int {
-	// Round up so nearby fractions stay distinguishable on small fabrics
-	// (1% vs 3% of 48 links must differ).
+	if n <= 0 || math.IsNaN(frac) || frac <= 0 {
+		return nil
+	}
 	k := int(math.Ceil(frac * float64(n)))
-	if k > n {
+	if k > n || k < 0 { // frac > 1, or overflow from a huge fraction
 		k = n
 	}
-	perm := rng.Perm(n)
-	return perm[:k]
+	return rng.Perm(n)[:k]
 }
 
 // TorOK reports whether a ToR is healthy.

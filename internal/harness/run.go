@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"ucmp/internal/core"
+	"ucmp/internal/failure"
 	"ucmp/internal/metrics"
 	"ucmp/internal/netsim"
 	"ucmp/internal/routing"
@@ -80,8 +81,17 @@ type SimConfig struct {
 	Hotspot float64
 
 	// LinkFailFrac fails that fraction of ToR-uplink cables physically and
-	// in the UCMP health checks (Fig 12d).
+	// in the UCMP health checks from t=0 for the whole run (Fig 12d). It
+	// compiles into the same failure timeline as Failures.
 	LinkFailFrac float64
+
+	// Failures scripts runtime faults: ToRs, cables, and circuit switches
+	// going down (and optionally back up) at fixed simulation times. The
+	// script compiles to an immutable epoch schedule consulted by the
+	// fabric and by UCMP's §5.3 online recovery; it composes with
+	// LinkFailFrac and is fully shardable (DESIGN.md §11). The timeline is
+	// not mutated and may be shared between configs.
+	Failures *failure.Timeline
 
 	// Queue selects the event-scheduler implementation (zero value: the
 	// timing wheel). The heap option exists for differential testing.
@@ -155,6 +165,9 @@ type Result struct {
 	// Flows are the run's flows (MPTCP subflows included), for trace
 	// export.
 	Flows []*netsim.Flow
+	// Recovery is the §5.3 online-recovery summary (all-zero when no
+	// failures were configured).
+	Recovery metrics.RecoveryStats
 }
 
 // Bins groups the run's FCTs with the default flow-size bins.
@@ -235,12 +248,10 @@ func Run(cfg SimConfig) (*Result, error) {
 		}
 	}
 
-	if cfg.LinkFailFrac > 0 {
-		sc := newLinkFailures(fab, cfg.LinkFailFrac, cfg.Seed)
-		net.LinkDown = func(tor, sw int) bool { return !sc.LinkOK(tor, sw) }
+	if fsched := compileFailures(cfg, fab); fsched != nil {
+		net.Faults = fsched
 		if ucmpRouter != nil {
-			ucmpRouter.PathOK = sc.PathOK
-			ucmpRouter.TorOK = sc.TorOK
+			ucmpRouter.Health = fsched
 		}
 	}
 
@@ -313,7 +324,28 @@ func Run(cfg SimConfig) (*Result, error) {
 		Sharded:        sharded,
 		JainCumulative: net.JainCumulative(),
 		Flows:          net.Flows(),
+		Recovery:       metrics.Recovery(net.Counters),
 	}, nil
+}
+
+// compileFailures folds the config's fault knobs — the static LinkFailFrac
+// scenario (down from t=0, never repaired) and the explicit Failures
+// timeline — into one compiled schedule, or nil when no faults are
+// configured (the zero-cost default: the fabric never consults a schedule).
+func compileFailures(cfg SimConfig, fab *topo.Fabric) *failure.Schedule {
+	static := cfg.LinkFailFrac > 0
+	scripted := !cfg.Failures.Empty()
+	if !static && !scripted {
+		return nil
+	}
+	tl := failure.NewTimeline()
+	if static {
+		tl.Merge(failure.FromScenario(newLinkFailures(fab, cfg.LinkFailFrac, cfg.Seed), 0, -1))
+	}
+	if scripted {
+		tl.Merge(cfg.Failures)
+	}
+	return tl.Compile(fab)
 }
 
 // Shared wiring helpers, used by Run and by the extension runners.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"ucmp/internal/failure"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 	"ucmp/internal/topo"
@@ -77,12 +78,29 @@ func shardedCases() []shardedCase {
 	ksp.Duration = sim.Millisecond
 	ksp.Seed = 23
 
+	// Runtime fault injection mid-run: cable and switch failures strike and
+	// partially repair, exercising epoch transitions, parked-packet expiry,
+	// and online §5.3 recovery under the sharded engine. The recovery
+	// counters and reroute-wait histogram ride in fingerprintCore's %+v of
+	// Counters, so any serial/sharded divergence in fault handling fails the
+	// differential, not just the FCT trace.
+	faulty := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	faulty.Duration = sim.Millisecond
+	faulty.Seed = 24
+	faulty.Failures = failure.NewTimeline().
+		LinkDown(200*sim.Microsecond, 3, 1).
+		LinkDown(200*sim.Microsecond, 5, 0).
+		SwitchDown(300*sim.Microsecond, 2).
+		SwitchUp(700*sim.Microsecond, 2).
+		LinkUp(900*sim.Microsecond, 3, 1)
+
 	return []shardedCase{
 		sat,
 		incast,
 		{name: "ucmp-dctcp-websearch", cfg: dctcp},
 		{name: "ucmp-ndp-websearch", cfg: ndp},
 		{name: "ksp5-dctcp-datamining", cfg: ksp},
+		{name: "ucmp-dctcp-failures", cfg: faulty},
 	}
 }
 

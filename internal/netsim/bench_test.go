@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ucmp/internal/core"
+	"ucmp/internal/failure"
 	"ucmp/internal/netsim"
 	"ucmp/internal/routing"
 	"ucmp/internal/sim"
@@ -133,6 +134,50 @@ func BenchmarkSaturation64Sharded(b *testing.B) {
 			}
 		}
 		events += sh.Processed()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSaturationFailover is the fault-path exhibit: the saturation
+// scenario with an active failure schedule — two uplink cables blink off and
+// back mid-transfer — so every route plan pays the epoch lookup and some
+// packets take the full park-expire-replan recovery path. The companion
+// no-timeline benchmarks above are the zero-cost gate (Faults == nil must
+// stay within 10% of the PR-4 record); this one prices fault handling when
+// it is actually on.
+func BenchmarkSaturationFailover(b *testing.B) {
+	env := newBenchEnv(topo.Scaled())
+	sched := failure.NewTimeline().
+		LinkDown(50*sim.Microsecond, 0, 0).
+		LinkDown(50*sim.Microsecond, 1, 1).
+		LinkUp(400*sim.Microsecond, 0, 0).
+		LinkUp(400*sim.Microsecond, 1, 1).
+		Compile(env.fab)
+	env.router.Health = sched
+	defer func() { env.router.Health = nil }()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		qs := transport.QueueSpec(transport.DCTCP)
+		net := netsim.New(eng, env.fab, env.router, qs, qs, netsim.DefaultRotor())
+		net.Stamper = env.router.StampBucket
+		net.Faults = sched
+		net.Start()
+		stack := transport.NewStack(net, transport.DCTCP)
+		flows := []*netsim.Flow{netsim.NewFlow(1, 0, 3, 2<<20, 0)}
+		for _, f := range flows {
+			stack.Launch(f)
+		}
+		eng.Run(200 * sim.Millisecond)
+		for _, f := range flows {
+			if !f.Finished {
+				b.Fatalf("flow %d unfinished: %d/%d bytes delivered (drops=%d)",
+					f.ID, f.BytesDelivered, f.Size, net.Counters.DroppedPackets)
+			}
+		}
+		events += eng.Processed()
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/bits"
+
 	"ucmp/internal/sim"
 	"ucmp/internal/topo"
 )
@@ -78,4 +80,27 @@ func (c *Counters) add(o *Counters) {
 	c.ExpiredInCalendar += o.ExpiredInCalendar
 	c.LateArrivals += o.LateArrivals
 	c.CalendarFull += o.CalendarFull
+	c.RecoveredSameLength += o.RecoveredSameLength
+	c.RecoveredShorter += o.RecoveredShorter
+	c.RecoveredLonger += o.RecoveredLonger
+	c.RecoveredBackup += o.RecoveredBackup
+	c.RecoveryFailed += o.RecoveryFailed
+	c.FaultDrops += o.FaultDrops
+	for i := range c.RerouteWait {
+		c.RerouteWait[i] += o.RerouteWait[i]
+	}
+}
+
+// rerouteWaitBucket maps a time-to-reroute wait onto its log₂-microsecond
+// histogram bucket: 0 for sub-microsecond, i for [2^(i-1), 2^i) µs, the
+// last bucket open-ended.
+func rerouteWaitBucket(w sim.Time) int {
+	if w < 0 {
+		w = 0
+	}
+	b := bits.Len64(uint64(w / sim.Microsecond))
+	if b >= RerouteWaitBuckets {
+		b = RerouteWaitBuckets - 1
+	}
+	return b
 }

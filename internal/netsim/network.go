@@ -70,6 +70,46 @@ type Counters struct {
 	ExpiredInCalendar int64 // parked past the slice boundary
 	LateArrivals      int64 // reached a ToR after the planned slice
 	CalendarFull      int64 // target priority queue rejected the packet
+
+	// Online §5.3 recovery breakdown (data packets only, counted per route
+	// plan while a fault view is installed): plans that left the wanted
+	// path for a healthy alternative, by the class of the path taken.
+	// RecoveryFailed counts plans with no healthy alternative at all (the
+	// packet is dropped); FaultDrops counts packets of any type dropped
+	// because they arrived at — or were parked in — a dead ToR.
+	RecoveredSameLength int64
+	RecoveredShorter    int64
+	RecoveredLonger     int64
+	RecoveredBackup     int64
+	RecoveryFailed      int64
+	FaultDrops          int64
+
+	// RerouteWait is the time-to-reroute histogram: the delay between a
+	// data packet hitting a dead element (calendar expiry on a failed link
+	// or ToR) and its replacement circuit opening. Bucket 0 counts
+	// sub-microsecond waits, bucket i waits in [2^(i-1), 2^i) µs, and the
+	// last bucket is open-ended (≥ ~16 ms).
+	RerouteWait [RerouteWaitBuckets]int64
+}
+
+// RerouteWaitBuckets is the bucket count of Counters.RerouteWait.
+const RerouteWaitBuckets = 15
+
+// FaultState is the time-indexed health view the fabric consults when
+// installed on Network.Faults. Implementations must be pure functions of
+// their arguments (no mutable state): lookahead domains query them
+// concurrently, and determinism requires identical answers at identical
+// local times in serial and sharded runs. failure.Schedule (a compiled
+// failure.Timeline) is the canonical implementation.
+type FaultState interface {
+	// TorOK reports whether a ToR is up at `now`. Packets arriving at — or
+	// parked in — a down ToR are dropped and counted in FaultDrops.
+	TorOK(now sim.Time, tor int) bool
+	// LinkOK reports whether the (tor, switch) cable and the switch itself
+	// are up at `now`. A down link never transmits: packets planned over
+	// it expire at the slice boundary and recirculate (§6.3), which is
+	// where online recovery replans them.
+	LinkOK(now sim.Time, tor, sw int) bool
 }
 
 // Network is a simulated RDCN instance: hosts, ToRs, the circuit schedule
@@ -102,10 +142,11 @@ type Network struct {
 	// DSCP bucket stamping, §6.1).
 	Stamper func(p *Packet)
 
-	// LinkDown, if set, physically disables a ToR-to-circuit-switch link:
-	// its port never transmits, and packets planned over it expire at the
-	// slice boundary and recirculate (failure injection, Fig 12).
-	LinkDown func(tor, sw int) bool
+	// Faults, if set, injects runtime failures (Fig 12): down links never
+	// transmit, down ToRs drop traffic, and repairs take effect at the
+	// next slice boundary. Must be set before Start and never mutated
+	// afterwards; nil costs one predictable branch per health check.
+	Faults FaultState
 
 	// flows maps the sparse flow ID to the flow (duplicate detection and
 	// ID-based lookup); flowList holds the same flows in registration

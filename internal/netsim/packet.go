@@ -93,6 +93,17 @@ type Packet struct {
 	// SentAt is when the packet (this transmission) left the host.
 	SentAt sim.Time
 
+	// RecoveredVia records how the router's §5.3 online recovery resolved
+	// this packet's latest route plan; the zero value (RecoveryPrimary)
+	// means the wanted path was healthy or no fault view is installed.
+	// Routers that implement recovery stamp it on every plan.
+	RecoveredVia RecoveryClass
+	// FaultAt is the instant this packet hit a dead element (a calendar
+	// expiry on a failed link or ToR); zero means it never did. The ToR
+	// clears it when the replacement route is enqueued, recording the wait
+	// in the Counters.RerouteWait histogram.
+	FaultAt sim.Time
+
 	// linkSrc/linkSeq stamp a ToR-to-ToR transmission with its sending ToR
 	// and that ToR's monotone send counter. Peer arrivals sharing one
 	// instant at one ToR are processed in (linkSrc, linkSeq) order — the
@@ -108,6 +119,41 @@ type Packet struct {
 
 // MaxReroutes is the recirculation limit of §6.3.
 const MaxReroutes = 5
+
+// RecoveryClass is the outcome of one online §5.3 route resolution under a
+// fault view, mirroring failure.Recovery: when the wanted (primary) path is
+// unhealthy, the router prefers a healthy same-length group path, then a
+// shorter one, then a longer one, then a 2-hop backup path; RecoveryNone
+// means nothing healthy remained and the plan failed.
+type RecoveryClass uint8
+
+const (
+	RecoveryPrimary RecoveryClass = iota
+	RecoverySameLength
+	RecoveryShorter
+	RecoveryLonger
+	RecoveryBackup
+	RecoveryNone
+)
+
+func (c RecoveryClass) String() string {
+	switch c {
+	case RecoveryPrimary:
+		return "primary"
+	case RecoverySameLength:
+		return "same-length"
+	case RecoveryShorter:
+		return "shorter"
+	case RecoveryLonger:
+		return "longer"
+	case RecoveryBackup:
+		return "backup"
+	case RecoveryNone:
+		return "none"
+	default:
+		return "?"
+	}
+}
 
 // CurrentHop returns the pending hop of the source route, or false when the
 // route is exhausted.

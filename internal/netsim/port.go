@@ -263,7 +263,11 @@ func (u *uplinkPort) pump() {
 		u.wakeAt(u.busyUntil)
 		return
 	}
-	if u.net.LinkDown != nil && u.net.LinkDown(u.tor.id, u.sw) {
+	if fs := u.net.Faults; fs != nil && (!fs.TorOK(now, u.tor.id) || !fs.LinkOK(now, u.tor.id, u.sw)) {
+		// Dead link (or dead ToR): the port transmits nothing. No wakeup is
+		// armed — after a repair the next slice boundary pumps every port, so
+		// service resumes there, identically in serial and sharded runs.
+		// Parked packets meanwhile expire at the boundary and recirculate.
 		return
 	}
 	if now >= u.sliceEnd {

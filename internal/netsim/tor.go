@@ -75,13 +75,21 @@ func (t *ToR) ID() int { return t.id }
 // slice. expired is the cyclic index of the previous slice, -1 at slice 0.
 func (t *ToR) onSliceStart(abs int64, expired int) {
 	if expired >= 0 {
+		fs := t.net.Faults
+		now := t.dom.eng.Now()
 		for _, u := range t.up {
+			// Expiries off a dead element are fault hits: stamp the instant so
+			// the successful replan records the time-to-reroute wait.
+			faulted := fs != nil && (!fs.TorOK(now, t.id) || !fs.LinkOK(now, t.id, u.sw))
 			for {
 				p := u.cal[expired].Dequeue()
 				if p == nil {
 					break
 				}
 				t.dom.ctr.ExpiredInCalendar++
+				if faulted && p.FaultAt == 0 && p.Type == Data {
+					p.FaultAt = now
+				}
 				t.recirculate(p, abs)
 			}
 		}
@@ -91,9 +99,25 @@ func (t *ToR) onSliceStart(abs int64, expired int) {
 	}
 }
 
+// faultDrop reports whether this ToR is down at `now` and, if so, drops the
+// packet against the conservation ledger. A dead ToR forwards nothing: host
+// injections, circuit arrivals, and parked packets all terminate here.
+func (t *ToR) faultDrop(p *Packet, now sim.Time) bool {
+	fs := t.net.Faults
+	if fs == nil || fs.TorOK(now, t.id) {
+		return false
+	}
+	t.dom.ctr.FaultDrops++
+	t.dom.dropPacket(p)
+	return true
+}
+
 // receiveFromHost accepts a packet from a local host NIC.
 func (t *ToR) receiveFromHost(p *Packet) {
 	p.assertLive("ToR.receiveFromHost")
+	if t.net.Faults != nil && t.faultDrop(p, t.dom.eng.Now()) {
+		return
+	}
 	if p.Type == Data {
 		t.dom.ctr.DataPackets++
 	}
@@ -146,6 +170,9 @@ func (t *ToR) flushIngress() {
 // receiveFromPeer accepts a packet arriving over a circuit.
 func (t *ToR) receiveFromPeer(p *Packet) {
 	p.assertLive("ToR.receiveFromPeer")
+	if t.net.Faults != nil && t.faultDrop(p, t.dom.eng.Now()) {
+		return
+	}
 	p.TorHops++
 	if p.DstToR == t.id {
 		t.deliverDown(p)
@@ -195,6 +222,9 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 		// allocates nothing.
 		route, ok := t.net.Router.PlanRoute(p, t.id, now, fromAbs, p.Route[:0])
 		if !ok || len(route) == 0 {
+			if t.net.Faults != nil && p.RecoveredVia == RecoveryNone && p.Type == Data {
+				t.dom.ctr.RecoveryFailed++
+			}
 			t.dom.dropPacket(p)
 			return
 		}
@@ -222,6 +252,9 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 		p.Route, p.RouteIdx = route, 0
 		hop := route[0]
 		if t.enqueueUplink(p, hop) {
+			if t.net.Faults != nil && p.Type == Data {
+				t.noteRecovery(p, hop)
+			}
 			return
 		}
 		// Target priority queue full: recirculate (§6.3).
@@ -233,12 +266,39 @@ func (t *ToR) routeAndForward(p *Packet, fromAbs int64) {
 	}
 }
 
-// recirculate re-sources a packet at this ToR (§6.3).
+// recirculate re-sources a packet at this ToR (§6.3). A dead ToR cannot
+// re-source anything: its parked packets drop at the slice boundary.
 func (t *ToR) recirculate(p *Packet, fromAbs int64) {
+	if t.net.Faults != nil && t.faultDrop(p, t.dom.eng.Now()) {
+		return
+	}
 	if !t.bumpReroute(p) {
 		return
 	}
 	t.routeAndForward(p, fromAbs)
+}
+
+// noteRecovery applies the §5.3 online-recovery accounting after a data
+// packet's plan was enqueued: the recovery-class counters (stamped by the
+// router on the plan) and, for packets that hit a dead element, the
+// time-to-reroute histogram — the wait from the fault hit until the
+// replacement route's first circuit opens.
+func (t *ToR) noteRecovery(p *Packet, first PlannedHop) {
+	ctr := t.dom.ctr
+	switch p.RecoveredVia {
+	case RecoverySameLength:
+		ctr.RecoveredSameLength++
+	case RecoveryShorter:
+		ctr.RecoveredShorter++
+	case RecoveryLonger:
+		ctr.RecoveredLonger++
+	case RecoveryBackup:
+		ctr.RecoveredBackup++
+	}
+	if p.FaultAt > 0 {
+		ctr.RerouteWait[rerouteWaitBucket(t.net.F.SliceStart(first.AbsSlice)-p.FaultAt)]++
+		p.FaultAt = 0
+	}
 }
 
 // bumpReroute applies the recirculation accounting and limit; it reports

@@ -38,7 +38,7 @@ func (u *UCMP) congestionCandidates(g *core.Group, bucket int) []*core.Path {
 // backlog, preferring the primary choice on ties. It only engages when the
 // primary's backlog exceeds the threshold; otherwise it returns nil and
 // the caller keeps the normal minimum-uniform-cost assignment.
-func (u *UCMP) pickUncongested(g *core.Group, bucket, tor int, fromAbs int64, hash uint64) *core.Path {
+func (u *UCMP) pickUncongested(g *core.Group, bucket, tor int, fromAbs int64, hash uint64, ok func(*core.Path) bool) *core.Path {
 	if u.Backlog == nil || u.CongestionThreshold <= 0 {
 		return nil
 	}
@@ -54,7 +54,7 @@ func (u *UCMP) pickUncongested(g *core.Group, bucket, tor int, fromAbs int64, ha
 	best := primary
 	bestBacklog := backlogOf(primary)
 	for _, p := range u.congestionCandidates(g, bucket) {
-		if u.PathOK != nil && !u.PathOK(p) {
+		if ok != nil && !ok(p) {
 			continue
 		}
 		if b := backlogOf(p); b < bestBacklog {

@@ -1,0 +1,37 @@
+package routing
+
+import (
+	"ucmp/internal/core"
+	"ucmp/internal/sim"
+)
+
+// HealthView is the time-indexed fault view the UCMP router consults for
+// online §5.3 recovery. Implementations must be pure functions of their
+// arguments: route planning runs inside lookahead domains, and serial and
+// sharded runs must see identical answers at identical local times.
+// failure.Schedule (a compiled failure.Timeline) implements it; tests and
+// static scenarios can use StaticHealth.
+type HealthView interface {
+	// PathOK reports whether every hop of a UCMP path is usable at `now`.
+	PathOK(now sim.Time, p *core.Path) bool
+	// TorOK reports whether a ToR is up at `now` (filters backup-path
+	// intermediates).
+	TorOK(now sim.Time, tor int) bool
+}
+
+// StaticHealth adapts time-independent predicates to HealthView, for fault
+// states that never change during a run. Nil predicates report healthy.
+type StaticHealth struct {
+	Path func(p *core.Path) bool
+	Tor  func(tor int) bool
+}
+
+// PathOK implements HealthView.
+func (h StaticHealth) PathOK(_ sim.Time, p *core.Path) bool {
+	return h.Path == nil || h.Path(p)
+}
+
+// TorOK implements HealthView.
+func (h StaticHealth) TorOK(_ sim.Time, tor int) bool {
+	return h.Tor == nil || h.Tor(tor)
+}

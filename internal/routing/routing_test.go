@@ -120,8 +120,7 @@ func TestUCMPFailureFallback(t *testing.T) {
 	sc := failure.NewScenario(f)
 	// Fail a specific intermediate-heavy ToR.
 	sc.FailToRs(0.2, rand.New(rand.NewSource(3)))
-	u.PathOK = sc.PathOK
-	u.TorOK = sc.TorOK
+	u.Health = StaticHealth{Path: sc.PathOK, Tor: sc.TorOK}
 	healthy := 0
 	for src := 0; src < f.NumToRs; src++ {
 		if !sc.TorOK(src) {

@@ -27,12 +27,12 @@ type UCMP struct {
 	// bandwidth minimization, typically the direct circuit).
 	ForceBucket int
 
-	// PathOK, when non-nil, reports whether a path is usable under the
-	// current failure scenario; unhealthy paths are skipped in favor of
-	// other group members or backup 2-hop paths (§5.3).
-	PathOK func(p *core.Path) bool
-	// TorOK, when non-nil, filters backup-path intermediates.
-	TorOK func(tor int) bool
+	// Health, when non-nil, is the time-indexed fault view (§5.3 online
+	// recovery): when the wanted path is unhealthy at plan time, assignment
+	// prefers a healthy same-length group path, then a shorter one, then a
+	// longer one, then a 2-hop backup — the order failure.Classify scores
+	// offline — and stamps the outcome on Packet.RecoveredVia.
+	Health HealthView
 
 	// Backlog and CongestionThreshold enable the §10 congestion-aware
 	// extension (see congestion.go): when the primary candidate's
@@ -77,44 +77,83 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 	if u.ForceBucket >= 0 {
 		bucket = u.ForceBucket
 	}
-	path := u.pickUncongested(g, bucket, tor, fromAbs, hash)
+	var ok func(*core.Path) bool
+	if u.Health != nil {
+		h := u.Health
+		ok = func(p *core.Path) bool { return h.PathOK(now, p) }
+	}
+	path := u.pickUncongested(g, bucket, tor, fromAbs, hash, ok)
+	class := netsim.RecoveryPrimary
 	if path == nil {
-		path = u.pickHealthy(g, bucket, hash)
+		path, class = u.pickHealthy(g, bucket, hash, ok)
 	}
 	if path == nil {
-		// Single-path group hit a failure: fall back to a backup 2-hop
-		// path avoiding failed ToRs (§5.3).
+		// Group exhausted (a failure, or an empty group): fall back to a
+		// healthy backup 2-hop path avoiding failed ToRs (§5.3).
 		var exclude func(int) bool
-		if u.TorOK != nil {
-			exclude = func(t int) bool { return !u.TorOK(t) }
+		if u.Health != nil {
+			h := u.Health
+			exclude = func(t int) bool { return !h.TorOK(now, t) }
 		}
 		backups := u.PS.BackupPaths(ts, tor, dst, 4, exclude)
-		if len(backups) == 0 {
+		path = healthyOf(backups, hash, ok)
+		if path == nil {
+			p.RecoveredVia = netsim.RecoveryNone
 			return nil, false
 		}
-		path = backups[int(hash%uint64(len(backups)))]
+		class = netsim.RecoveryBackup
 	}
+	p.RecoveredVia = class
 	return hopsFromPath(path, fromAbs, buf), true
 }
 
-// pickHealthy resolves the bucket to a path, skipping paths through failed
-// ToRs — first among the entry's parallel paths, then across the rest of
-// the group (same-length first, then other lengths).
-func (u *UCMP) pickHealthy(g *core.Group, bucket int, hash uint64) *core.Path {
+// pickHealthy resolves the bucket to a path and its §5.3 recovery class. A
+// nil health predicate short-circuits to the wanted path (the steady-state
+// hot path). Under faults the preference order mirrors failure.classifyOne:
+// the wanted entry's parallel paths (same hop count), then other healthy
+// entries — same length first, then shorter, then longer, each resolved in
+// group entry order.
+func (u *UCMP) pickHealthy(g *core.Group, bucket int, hash uint64, ok func(*core.Path) bool) (*core.Path, netsim.RecoveryClass) {
 	want := u.Ager.EntryForBucket(g, bucket)
-	if p := healthyOf(want.Paths, hash, u.PathOK); p != nil {
-		return p
+	p := healthyOf(want.Paths, hash, ok)
+	if ok == nil {
+		return p, netsim.RecoveryPrimary
 	}
+	if p != nil {
+		if p == healthyOf(want.Paths, hash, nil) {
+			return p, netsim.RecoveryPrimary
+		}
+		// A sibling parallel path of the wanted entry: same hop count.
+		return p, netsim.RecoverySameLength
+	}
+	var shorter, longer *core.Path
 	for i := range g.Entries {
 		e := &g.Entries[i]
 		if e == want {
 			continue
 		}
-		if p := healthyOf(e.Paths, hash, u.PathOK); p != nil {
-			return p
+		switch {
+		case e.HopCount == want.HopCount:
+			if p := healthyOf(e.Paths, hash, ok); p != nil {
+				return p, netsim.RecoverySameLength
+			}
+		case e.HopCount < want.HopCount:
+			if shorter == nil {
+				shorter = healthyOf(e.Paths, hash, ok)
+			}
+		default:
+			if longer == nil {
+				longer = healthyOf(e.Paths, hash, ok)
+			}
 		}
 	}
-	return nil
+	if shorter != nil {
+		return shorter, netsim.RecoveryShorter
+	}
+	if longer != nil {
+		return longer, netsim.RecoveryLonger
+	}
+	return nil, netsim.RecoveryNone
 }
 
 // healthyOf returns the hash-selected healthy path, or nil when paths is

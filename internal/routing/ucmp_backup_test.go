@@ -11,12 +11,32 @@ import (
 // backup whose intermediate honors TorOK.
 func TestUCMPBackupFallback(t *testing.T) {
 	f := fabric(t)
-	u := NewUCMP(core.BuildPathSet(f, 0.5))
-	// Reject every precomputed group path: the group is effectively
-	// exhausted for all (src, dst), forcing the backup machinery.
-	u.PathOK = func(p *core.Path) bool { return false }
+	ps := core.BuildPathSet(f, 0.5)
+	u := NewUCMP(ps)
+	// Reject every precomputed group path by identity: the group is
+	// effectively exhausted for all (src, dst), forcing the backup
+	// machinery (backup paths are built fresh, so they stay healthy).
+	grouped := make(map[*core.Path]bool)
+	for ts := 0; ts < f.Sched.S; ts++ {
+		for src := 0; src < f.NumToRs; src++ {
+			for dst := 0; dst < f.NumToRs; dst++ {
+				if src == dst {
+					continue
+				}
+				g := ps.Group(ts, src, dst)
+				for _, e := range g.Entries {
+					for _, p := range e.Paths {
+						grouped[p] = true
+					}
+				}
+			}
+		}
+	}
 	badToR := 3
-	u.TorOK = func(tor int) bool { return tor != badToR }
+	u.Health = StaticHealth{
+		Path: func(p *core.Path) bool { return !grouped[p] },
+		Tor:  func(tor int) bool { return tor != badToR },
+	}
 
 	routed := 0
 	for src := 0; src < f.NumToRs; src++ {
@@ -52,8 +72,10 @@ func TestUCMPBackupFallback(t *testing.T) {
 func TestUCMPNoBackupReturnsFalse(t *testing.T) {
 	f := fabric(t)
 	u := NewUCMP(core.BuildPathSet(f, 0.5))
-	u.PathOK = func(p *core.Path) bool { return false }
-	u.TorOK = func(tor int) bool { return false }
+	u.Health = StaticHealth{
+		Path: func(p *core.Path) bool { return false },
+		Tor:  func(tor int) bool { return false },
+	}
 	for src := 0; src < f.NumToRs; src++ {
 		for dst := 0; dst < f.NumToRs; dst++ {
 			if src == dst {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"ucmp/internal/core"
+	"ucmp/internal/failure"
 	"ucmp/internal/netsim"
 	"ucmp/internal/routing"
 	"ucmp/internal/sim"
@@ -220,7 +221,7 @@ func TestNDPRepairAfterLoss(t *testing.T) {
 	// Physically fail one uplink without telling the router: packets
 	// planned over it will expire and recirculate; a few may exceed the
 	// limit and drop.
-	net.LinkDown = func(tor, sw int) bool { return tor == 3 && sw == 1 }
+	net.Faults = failure.NewTimeline().LinkDown(0, 3, 1).Compile(f)
 	net.Start()
 	stack := NewStack(net, NDP)
 	fl := netsim.NewFlow(1, 6, 21, 500_000, 0) // src host on ToR 3
