@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -38,17 +39,22 @@ type record struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
 	Environment string   `json:"environment"`
+	NumCPU      int      `json:"num_cpu,omitempty"`
 	Method      string   `json:"method"`
 	Benchmarks  []record `json:"benchmarks"`
 }
 
 // procSuffix is the -GOMAXPROCS suffix `go test` appends to benchmark names.
-var procSuffix = regexp.MustCompile(`-\d+$`)
+// The suffix is stripped for the benchmark key (so a run at a different
+// GOMAXPROCS still matches its baseline entry) and recorded separately in
+// the per-benchmark "gomaxprocs" field.
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
 	method := flag.String("method", "go test -bench via make bench (see Makefile)",
@@ -68,7 +74,12 @@ func main() {
 		switch {
 		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
 			strings.HasPrefix(line, "cpu:"):
-			env = append(env, strings.TrimSpace(line))
+			// Concatenated runs (make bench-pr6 feeds two `go test`
+			// invocations through one pipe) repeat the header block; keep
+			// each line once.
+			if l := strings.TrimSpace(line); !contains(env, l) {
+				env = append(env, l)
+			}
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
 				rep.Benchmarks = append(rep.Benchmarks, r)
@@ -80,6 +91,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Environment = strings.Join(env, ", ")
+	rep.NumCPU = runtime.NumCPU()
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
 		os.Exit(1)
@@ -103,6 +115,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // oldBench is the per-benchmark shape shared by the benchjson record format
@@ -220,7 +241,11 @@ func parseBench(line string) (record, bool) {
 	if err != nil {
 		return record{}, false
 	}
-	r := record{Benchmark: procSuffix.ReplaceAllString(f[0], ""), Iterations: iters}
+	r := record{Benchmark: f[0], Iterations: iters}
+	if m := procSuffix.FindStringSubmatch(f[0]); m != nil {
+		r.Benchmark = f[0][:len(f[0])-len(m[0])]
+		r.GoMaxProcs, _ = strconv.Atoi(m[1])
+	}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {

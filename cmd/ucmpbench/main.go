@@ -25,7 +25,12 @@
 // -shards N (N > 1) runs each simulation on the conservative-PDES sharded
 // engine with N workers when the configuration supports it (see
 // harness.Shardable); unsupported configurations fall back to the serial
-// engine with identical output.
+// engine with identical output. -gomaxprocs 1,4,8 sweeps the Go scheduler
+// width, running the selected exhibits once per value with a stderr banner
+// per point — combined with -shards this produces the scaling comparison
+// for one exhibit in a single invocation:
+//
+//	ucmpbench -exp fig6a -shards 8 -gomaxprocs 1,2,4,8
 //
 // The offline build performance tracked in results/BENCH_seed.json is
 // regenerated with `make bench` (see that file for the recorded baseline);
@@ -71,6 +76,7 @@ func main() {
 		traceF    = flag.String("trace", "", "write a runtime execution trace covering the selected exhibits to this file")
 		shardsF   = flag.Int("shards", 0, "run simulations on the sharded engine with this many workers (0/1 = serial)")
 		schedF    = flag.Bool("schedstats", false, "report per-exhibit scheduler internals (pending high-water, cascades, cancels) on stderr")
+		procsF    = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values to sweep; exhibits run once per value (empty = current setting)")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
@@ -133,34 +139,59 @@ func main() {
 		}
 	}
 
-	r := runner{full: *fullF, seed: *seedF, shards: *shardsF}
-	for _, e := range allExps {
-		if !want[e] {
-			continue
-		}
-		start := time.Now()
-		harness.TakeEvents()
-		if err := r.run(e); err != nil {
-			fmt.Fprintf(os.Stderr, "ucmpbench %s: %v\n", e, err)
-			os.Exit(1)
-		}
-		wall := time.Since(start).Seconds()
-		if events := harness.TakeEvents(); events > 0 {
-			fmt.Fprintf(os.Stderr, "(%s took %.1fs, %d sim events, %.2fM events/s)\n",
-				e, wall, events, float64(events)/wall/1e6)
-		} else {
-			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", e, wall)
-		}
-		if *schedF {
-			s := harness.TakeSchedStats()
-			fmt.Fprintf(os.Stderr, "(%s sched: pending-hwm %d, cascades %d, overflow %d, cancels %d, dead-pops %d, chases %d)\n",
-				e, s.PendingHighWater, s.Cascades, s.OverflowPushes, s.Cancels, s.DeadPops, s.Chases)
-			if sh := harness.TakeShardStats(); sh.Windows > 0 {
-				fmt.Fprintf(os.Stderr, "(%s shards: windows %d, barriers %d, cross-events %d, merge-batches %d, mailbox-hwm %d)\n",
-					e, sh.Windows, sh.Barriers, sh.CrossEvents, sh.MergeBatches, sh.MailboxHighWater)
+	// -gomaxprocs sweeps the scheduler width: the selected exhibits run once
+	// per value, so one invocation produces the serial-vs-parallel scaling
+	// comparison (typically combined with -shards N).
+	procs := []int{0} // 0: leave GOMAXPROCS alone
+	if *procsF != "" {
+		procs = procs[:0]
+		for _, s := range strings.Split(*procsF, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "ucmpbench: -gomaxprocs: bad value %q\n", s)
+				os.Exit(1)
 			}
+			procs = append(procs, n)
 		}
-		fmt.Fprintln(os.Stderr)
+	}
+
+	r := runner{full: *fullF, seed: *seedF, shards: *shardsF}
+	for _, p := range procs {
+		if p > 0 {
+			runtime.GOMAXPROCS(p)
+		}
+		if len(procs) > 1 || p > 0 {
+			fmt.Fprintf(os.Stderr, "=== GOMAXPROCS=%d shards=%d cpus=%d ===\n",
+				runtime.GOMAXPROCS(0), *shardsF, runtime.NumCPU())
+		}
+		for _, e := range allExps {
+			if !want[e] {
+				continue
+			}
+			start := time.Now()
+			harness.TakeEvents()
+			if err := r.run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "ucmpbench %s: %v\n", e, err)
+				os.Exit(1)
+			}
+			wall := time.Since(start).Seconds()
+			if events := harness.TakeEvents(); events > 0 {
+				fmt.Fprintf(os.Stderr, "(%s took %.1fs, %d sim events, %.2fM events/s)\n",
+					e, wall, events, float64(events)/wall/1e6)
+			} else {
+				fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", e, wall)
+			}
+			if *schedF {
+				s := harness.TakeSchedStats()
+				fmt.Fprintf(os.Stderr, "(%s sched: pending-hwm %d, cascades %d, overflow %d, cancels %d, dead-pops %d, chases %d)\n",
+					e, s.PendingHighWater, s.Cascades, s.OverflowPushes, s.Cancels, s.DeadPops, s.Chases)
+				if sh := harness.TakeShardStats(); sh.Windows > 0 {
+					fmt.Fprintf(os.Stderr, "(%s shards: windows %d, barriers %d, extensions %d, cross-events %d, merge-batches %d, serial-merges %d, mailbox-hwm %d, steals %d)\n",
+						e, sh.Windows, sh.Barriers, sh.Extensions, sh.CrossEvents, sh.MergeBatches, sh.SerialMerges, sh.MailboxHighWater, sh.Steals)
+				}
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 

@@ -98,32 +98,40 @@ type SimConfig struct {
 	Queue sim.QueueKind
 
 	// Shards > 1 opts into the conservative-PDES engine: one lookahead
-	// domain per ToR, advanced by that many parallel workers (clamped to
-	// the ToR count). Configurations Shardable rejects fall back to the
-	// serial engine silently; Result.Sharded reports which engine ran.
-	// 0 or 1 selects the serial engine.
+	// domain per ToR, advanced by that many parallel workers. Negative
+	// values are rejected; values above the ToR count are clamped to it
+	// (domains cannot outnumber ToRs) with the clamp recorded in
+	// Result.ShardNote. Configurations Shardable rejects fall back to the
+	// serial engine silently; Result.Sharded and Result.Shards report which
+	// engine ran and how wide. 0 or 1 selects the serial engine.
 	Shards int
 }
 
 // Shardable reports whether a configuration can run on the sharded engine,
-// or an error naming the first obstacle. Rotor-class traffic (VLB routing,
-// the rotor transport) synchronously inspects remote-ToR VOQ depths and
-// destination-host queues, Opera's routing reads remote calendar state,
-// UCMP latency relaxation and congestion-aware assignment consult
-// fabric-wide backlog — all zero-lookahead cross-domain reads that the
-// bulk-synchronous windows cannot order deterministically.
+// or an error naming the first obstacle. UCMP latency relaxation and
+// congestion-aware assignment consult fabric-wide backlog synchronously —
+// zero-lookahead cross-domain reads the bulk-synchronous windows cannot
+// order deterministically. Rotor-class traffic (VLB routing, Opera's
+// rotor fallback, the rotor transport) shards via the slice-boundary
+// backlog exchange (DESIGN.md §12), which requires slices at least one
+// lookahead window long — true of every realistic fabric (microsecond
+// slices vs sub-microsecond lookahead) but checked here for pathological
+// configurations.
 func Shardable(cfg SimConfig) error {
 	switch {
-	case cfg.Routing == VLB:
-		return fmt.Errorf("harness: VLB routing is rotor-class and not shardable")
-	case cfg.Routing == Opera1 || cfg.Routing == Opera5:
-		return fmt.Errorf("harness: Opera routing is not shardable")
-	case cfg.Transport == transport.Rotor:
-		return fmt.Errorf("harness: the rotor transport is not shardable")
 	case cfg.Relax:
 		return fmt.Errorf("harness: UCMP latency relaxation is not shardable")
 	case cfg.CongestionAware:
 		return fmt.Errorf("harness: congestion-aware assignment reads remote backlog and is not shardable")
+	}
+	rotorClass := cfg.Routing == VLB || cfg.Routing == Opera1 || cfg.Routing == Opera5 ||
+		cfg.Transport == transport.Rotor
+	if rotorClass && cfg.Topo.LinkBps > 0 {
+		la := cfg.Topo.PropDelay + cfg.Topo.UplinkSerialization(netsim.HeaderBytes)
+		if cfg.Topo.SliceDuration < la {
+			return fmt.Errorf("harness: slice duration %v below the %v lookahead; the rotor backlog exchange cannot shard",
+				cfg.Topo.SliceDuration, la)
+		}
 	}
 	return nil
 }
@@ -159,6 +167,12 @@ type Result struct {
 	// engine (false when cfg.Shards was set but Shardable rejected the
 	// configuration).
 	Sharded bool
+	// Shards is the effective worker count: the engine's worker count for a
+	// sharded run (after clamping), 1 for a serial run.
+	Shards int
+	// ShardNote records shard-count adjustments (e.g. a clamp to the ToR
+	// count); empty when the requested count was used as-is.
+	ShardNote string
 	// JainCumulative is the whole-run Jain fairness over per-uplink-port
 	// bytes (Fig 15).
 	JainCumulative float64
@@ -183,13 +197,24 @@ func Run(cfg SimConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sharded := cfg.Shards > 1 && Shardable(cfg) == nil
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("harness: Shards=%d is negative", cfg.Shards)
+	}
+	shards := cfg.Shards
+	var shardNote string
+	if shards > fab.NumToRs {
+		shardNote = fmt.Sprintf("Shards=%d clamped to the %d-ToR domain count", cfg.Shards, fab.NumToRs)
+		shards = fab.NumToRs
+	}
+	sharded := shards > 1 && Shardable(cfg) == nil
 	var eng *sim.Engine
 	var sh *sim.ShardedEngine
 	if sharded {
-		sh = sim.NewShardedEngine(fab.NumToRs, cfg.Shards, netsim.ShardLookahead(fab), cfg.Queue)
+		sh = sim.NewShardedEngine(fab.NumToRs, shards, netsim.ShardLookahead(fab), cfg.Queue)
 	} else {
 		eng = sim.NewEngineQueue(cfg.Queue)
+		shards = 1
+		shardNote = ""
 	}
 
 	var router netsim.Router
@@ -322,6 +347,8 @@ func Run(cfg SimConfig) (*Result, error) {
 		Launched:       len(flows),
 		Events:         events,
 		Sharded:        sharded,
+		Shards:         shards,
+		ShardNote:      shardNote,
 		JainCumulative: net.JainCumulative(),
 		Flows:          net.Flows(),
 		Recovery:       metrics.Recovery(net.Counters),

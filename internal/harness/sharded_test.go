@@ -7,6 +7,7 @@ import (
 
 	"ucmp/internal/failure"
 	"ucmp/internal/netsim"
+	"ucmp/internal/routing"
 	"ucmp/internal/sim"
 	"ucmp/internal/topo"
 	"ucmp/internal/transport"
@@ -94,6 +95,33 @@ func shardedCases() []shardedCase {
 		SwitchUp(700*sim.Microsecond, 2).
 		LinkUp(900*sim.Microsecond, 3, 1)
 
+	// The rotor-class baselines, shardable since the slice-boundary backlog
+	// exchange (§12): every VLB data packet is RotorLB traffic, so this
+	// exercises VOQ drains, indirection capped by the published board, and
+	// the receiver-side downlink staging under the sharded engine.
+	vlb := ScaledConfig(VLB, transport.Rotor, "websearch")
+	vlb.Duration = sim.Millisecond
+	vlb.Seed = 25
+
+	// Opera couples both planes: explicit flows straddle the 15 MB cutoff so
+	// the run carries source-routed NDP traffic and rotor-class bulk at once.
+	operaCfg := ScaledConfig(Opera5, transport.NDP, "websearch")
+	operaCfg.Workload = ""
+	operaCfg.Horizon = 4 * sim.Millisecond
+	opera := shardedCase{
+		name: "opera5-mixed", cfg: operaCfg,
+		flows: func() []*netsim.Flow {
+			flows := []*netsim.Flow{
+				netsim.NewFlow(1, 0, 9, routing.FlowCutoff15MB, 0), // rotor-class bulk
+			}
+			for h := 1; h < 8; h++ {
+				src := h * operaCfg.Topo.HostsPerToR
+				flows = append(flows, netsim.NewFlow(int64(h+1), src, (src+17)%operaCfg.Topo.NumHosts(), 256<<10, 0))
+			}
+			return flows
+		},
+	}
+
 	return []shardedCase{
 		sat,
 		incast,
@@ -101,6 +129,8 @@ func shardedCases() []shardedCase {
 		{name: "ucmp-ndp-websearch", cfg: ndp},
 		{name: "ksp5-dctcp-datamining", cfg: ksp},
 		{name: "ucmp-dctcp-failures", cfg: faulty},
+		{name: "vlb-rotor-websearch", cfg: vlb},
+		opera,
 	}
 }
 
@@ -133,6 +163,7 @@ func TestDifferentialSerialSharded(t *testing.T) {
 			}{
 				{2, sim.QueueWheel},
 				{tc.cfg.Topo.NumToRs, sim.QueueWheel},
+				{5, sim.QueueWheel}, // non-dividing grouping: blocks of 4,3,3,3,3 domains
 				{3, sim.QueueHeap},
 			} {
 				got := run(v.shards, v.queue)
@@ -145,13 +176,40 @@ func TestDifferentialSerialSharded(t *testing.T) {
 	}
 }
 
-// TestShardableGate pins the configurations the sharded engine must refuse;
-// Run falls back to serial for them and reports it.
+// TestShardableGate pins both sides of the gate: the rotor-class baselines
+// (VLB, Opera, RotorLB transport) now pass it whenever the slice duration
+// covers the lookahead window, while latency relaxation, congestion-aware
+// stamping, and a pathologically short slice are still refused — Run falls
+// back to serial for those and reports it.
 func TestShardableGate(t *testing.T) {
-	bad := []SimConfig{
+	good := []SimConfig{
+		ScaledConfig(UCMP, transport.DCTCP, "websearch"),
 		ScaledConfig(VLB, transport.Rotor, "websearch"),
 		ScaledConfig(Opera1, transport.NDP, "websearch"),
 		ScaledConfig(Opera5, transport.NDP, "websearch"),
+	}
+	for _, cfg := range good {
+		if err := Shardable(cfg); err != nil {
+			t.Fatalf("Shardable rejected %v/%v: %v", cfg.Routing, cfg.Transport, err)
+		}
+		cfg.Duration = 200 * sim.Microsecond
+		cfg.Shards = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Sharded {
+			t.Fatalf("shardable config %v/%v fell back to serial", cfg.Routing, cfg.Transport)
+		}
+	}
+
+	// A rotor-class config whose slice is shorter than the lookahead window
+	// would let the boundary backlog exchange race; the gate must refuse it.
+	shortSlice := ScaledConfig(VLB, transport.Rotor, "websearch")
+	shortSlice.Topo.SliceDuration = shortSlice.Topo.PropDelay / 2
+
+	bad := []SimConfig{
+		shortSlice,
 		func() SimConfig { c := ScaledConfig(UCMP, transport.DCTCP, "websearch"); c.Relax = true; return c }(),
 		func() SimConfig {
 			c := ScaledConfig(UCMP, transport.DCTCP, "websearch")
@@ -163,7 +221,7 @@ func TestShardableGate(t *testing.T) {
 		if err := Shardable(cfg); err == nil {
 			t.Fatalf("Shardable accepted %v/%v relax=%v ca=%v", cfg.Routing, cfg.Transport, cfg.Relax, cfg.CongestionAware)
 		}
-		cfg.Duration = sim.Millisecond
+		cfg.Duration = 100 * sim.Microsecond
 		cfg.Shards = 4
 		res, err := Run(cfg)
 		if err != nil {
@@ -173,7 +231,94 @@ func TestShardableGate(t *testing.T) {
 			t.Fatalf("unshardable config %v/%v ran sharded", cfg.Routing, cfg.Transport)
 		}
 	}
-	if err := Shardable(ScaledConfig(UCMP, transport.DCTCP, "websearch")); err != nil {
-		t.Fatalf("Shardable rejected the baseline config: %v", err)
+}
+
+// TestShardsValidation pins the Shards-field contract: negative counts are
+// an error, counts above the domain count clamp with a recorded note, and
+// the effective shard count always lands in Result.Shards.
+func TestShardsValidation(t *testing.T) {
+	base := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	base.Duration = 100 * sim.Microsecond
+
+	neg := base
+	neg.Shards = -1
+	if _, err := Run(neg); err == nil {
+		t.Fatal("Run accepted Shards=-1")
+	}
+
+	big := base
+	big.Shards = 10 * base.Topo.NumToRs
+	res, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sharded || res.Shards != base.Topo.NumToRs {
+		t.Fatalf("Shards=%d: sharded=%v shards=%d, want clamp to %d",
+			big.Shards, res.Sharded, res.Shards, base.Topo.NumToRs)
+	}
+	if res.ShardNote == "" {
+		t.Fatal("clamped run carries no ShardNote")
+	}
+
+	serial := base
+	res, err = Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sharded || res.Shards != 1 || res.ShardNote != "" {
+		t.Fatalf("serial run: sharded=%v shards=%d note=%q, want 1 shard, no note",
+			res.Sharded, res.Shards, res.ShardNote)
+	}
+
+	four := base
+	four.Shards = 4
+	res, err = Run(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sharded || res.Shards != 4 || res.ShardNote != "" {
+		t.Fatalf("Shards=4 run: sharded=%v shards=%d note=%q", res.Sharded, res.Shards, res.ShardNote)
+	}
+}
+
+// TestShardedNonDividing64 is the domain-grouping differential at scale: a
+// 64-ToR ring permutation run serial and on shard counts that do not divide
+// the domain count, so the contiguous blocks are uneven (e.g. 64 on 7
+// shards: blocks of 10 and 9 domains) and work stealing crosses block
+// boundaries.
+func TestShardedNonDividing64(t *testing.T) {
+	cfg := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	cfg.Workload = ""
+	cfg.Topo.NumToRs = 64
+	cfg.Topo.Uplinks = 4
+	cfg.Horizon = 30 * sim.Millisecond
+	mkFlows := func() []*netsim.Flow {
+		var fl []*netsim.Flow
+		for tor := 0; tor < cfg.Topo.NumToRs; tor++ {
+			src := tor * cfg.Topo.HostsPerToR
+			dst := ((tor + 1) % cfg.Topo.NumToRs) * cfg.Topo.HostsPerToR
+			fl = append(fl, netsim.NewFlow(int64(tor+1), src, dst, 256<<10, 0))
+		}
+		return fl
+	}
+	run := func(shards int) string {
+		c := cfg
+		c.Shards = shards
+		c.Flows = mkFlows()
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 && (!res.Sharded || res.Shards != shards) {
+			t.Fatalf("Shards=%d ran with sharded=%v shards=%d", shards, res.Sharded, res.Shards)
+		}
+		return fingerprintCore(res)
+	}
+	serial := run(0)
+	for _, shards := range []int{3, 5, 7} {
+		if got := run(shards); got != serial {
+			t.Fatalf("64 ToRs on %d shards diverges from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+				shards, serial, got)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package netsim_test
 
 import (
+	"fmt"
 	"testing"
 
 	"ucmp/internal/core"
@@ -103,6 +104,30 @@ func BenchmarkSaturation64(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// runSharded64 executes one saturation64 iteration on the sharded engine
+// and returns the events processed.
+func (e *benchEnv) runSharded64(b *testing.B, workers int, flows []*netsim.Flow, horizon sim.Time) uint64 {
+	b.Helper()
+	sh := sim.NewShardedEngine(e.fab.NumToRs, workers, netsim.ShardLookahead(e.fab), sim.QueueWheel)
+	qs := transport.QueueSpec(transport.DCTCP)
+	net := netsim.NewSharded(sh, e.fab, e.router, qs, qs, netsim.DefaultRotor())
+	net.Stamper = e.router.StampBucket
+	net.Start()
+	stack := transport.NewStack(net, transport.DCTCP)
+	for _, f := range flows {
+		stack.Launch(f)
+	}
+	sh.Run(horizon)
+	net.FinalizeSharded()
+	for _, f := range flows {
+		if !f.Finished {
+			b.Fatalf("flow %d unfinished: %d/%d bytes delivered (drops=%d)",
+				f.ID, f.BytesDelivered, f.Size, net.Counters.DroppedPackets)
+		}
+	}
+	return sh.Processed()
+}
+
 // BenchmarkSaturation64Sharded runs the same scenario on the
 // conservative-PDES engine with 4 workers. On a multi-core machine this is
 // the headline speedup exhibit; under GOMAXPROCS=1 it measures the
@@ -115,27 +140,39 @@ func BenchmarkSaturation64Sharded(b *testing.B) {
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		flows := mkFlows()
-		sh := sim.NewShardedEngine(env.fab.NumToRs, 4, netsim.ShardLookahead(env.fab), sim.QueueWheel)
-		qs := transport.QueueSpec(transport.DCTCP)
-		net := netsim.NewSharded(sh, env.fab, env.router, qs, qs, netsim.DefaultRotor())
-		net.Stamper = env.router.StampBucket
-		net.Start()
-		stack := transport.NewStack(net, transport.DCTCP)
-		for _, f := range flows {
-			stack.Launch(f)
-		}
-		sh.Run(horizon)
-		net.FinalizeSharded()
-		for _, f := range flows {
-			if !f.Finished {
-				b.Fatalf("flow %d unfinished: %d/%d bytes delivered (drops=%d)",
-					f.ID, f.BytesDelivered, f.Size, net.Counters.DroppedPackets)
-			}
-		}
-		events += sh.Processed()
+		events += env.runSharded64(b, 4, mkFlows(), horizon)
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkShardScaling is the multicore scaling record behind
+// results/BENCH_pr6.json: the 64-ToR permutation at worker counts 1..16
+// plus the serial engine as the 1x reference. Run it with all cores
+// (`make bench-scaling`); the committed per-count events/s numbers are what
+// the ISSUE-6 acceptance bar (sharded >= 2.5x serial at 8 shards on
+// GOMAXPROCS >= 8) is checked against in CI.
+func BenchmarkShardScaling(b *testing.B) {
+	cfg, mkFlows, horizon := saturation64()
+	env := newBenchEnv(cfg)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			events += env.runBenchFlows(b, mkFlows(), horizon)
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		workers := workers
+		b.Run(fmt.Sprintf("shards=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events += env.runSharded64(b, workers, mkFlows(), horizon)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkSaturationFailover is the fault-path exhibit: the saturation

@@ -119,8 +119,10 @@ type FaultState interface {
 // domain, the classic single-threaded event loop. Sharded (NewSharded):
 // one lookahead domain per ToR on a sim.ShardedEngine; Eng is nil, and
 // cross-ToR packet arrivals route through the engine's mailboxes. Rotor-
-// class flows (VLB/RotorLB) and the congestion-aware extension read peer
-// state synchronously and are rejected in sharded mode.
+// class flows (VLB/RotorLB) exchange backlog state only at slice
+// boundaries (the rotorSnap board below) and shard when slices are at
+// least one lookahead long; the congestion-aware extension reads peer
+// calendar queues synchronously and stays serial-only.
 type Network struct {
 	Eng    *sim.Engine // serial engine; nil when sharded
 	F      *topo.Fabric
@@ -161,6 +163,17 @@ type Network struct {
 	sharded *sim.ShardedEngine
 	doms    []*domain
 
+	// rotorSnap is the slice-boundary backlog board: slot (abs&3)*N + tor
+	// holds ToR tor's nonlocal VOQ bytes as published at the boundary of
+	// absolute slice abs. Writers touch only their own ToR's slot, at their
+	// own boundary event; readers during slice s read the slice s-1 slot,
+	// written one full slice (>= one lookahead window, enforced by
+	// NewSharded and the harness gate) earlier — so no write ever shares an
+	// engine window with a read of its slot, and the value read is the same
+	// in serial and sharded runs. Four slots so the ring index is a mask;
+	// three would suffice for the race argument.
+	rotorSnap []int64
+
 	// Memoized serialization delays for the two wire lengths that cover
 	// nearly all traffic (full MTU frames and bare control headers), so the
 	// per-packet hot path skips the 64-bit division in SerializationDelay.
@@ -198,6 +211,14 @@ func NewSharded(sh *sim.ShardedEngine, f *topo.Fabric, router Router, up, down Q
 	if la := ShardLookahead(f); sh.Window() > la {
 		panic(fmt.Sprintf("netsim: engine window %v exceeds fabric lookahead %v", sh.Window(), la))
 	}
+	if rotor.Enabled && f.SliceDuration < sh.Window() {
+		// The rotor backlog board is race-free only when a published
+		// snapshot cannot share an engine window with its readers, which
+		// needs slices at least one window long. The harness gate rejects
+		// such configs; this is the backstop.
+		panic(fmt.Sprintf("netsim: slice duration %v below engine window %v; rotor backlog exchange cannot shard",
+			f.SliceDuration, sh.Window()))
+	}
 	n := newNetworkShell(f, router, up, down, rotor)
 	n.sharded = sh
 	n.doms = make([]*domain, f.NumToRs)
@@ -224,7 +245,18 @@ func newNetworkShell(f *topo.Fabric, router Router, up, down QueueSpec, rotor Ro
 	n.serHdr = f.SerializationDelay(HeaderBytes)
 	n.serUpMTU = f.UplinkSerialization(f.MTU)
 	n.serUpHdr = f.UplinkSerialization(HeaderBytes)
+	if rotor.Enabled {
+		n.rotorSnap = make([]int64, 4*f.NumToRs)
+	}
 	return n
+}
+
+// rotorBacklogAt reads ToR peer's published nonlocal backlog as seen from
+// absolute slice abs: the snapshot published at the previous slice's
+// boundary. During slice 0 no snapshot exists yet and the backlog reads as
+// zero (the board starts zeroed), identically in serial and sharded runs.
+func (n *Network) rotorBacklogAt(abs int64, peer int) int64 {
+	return n.rotorSnap[((abs-1)&3)*int64(n.F.NumToRs)+int64(peer)]
 }
 
 // buildTopology instantiates ToRs and hosts, assigning each to the domain
@@ -327,13 +359,6 @@ func (n *Network) RegisterFlow(f *Flow) {
 		panic(fmt.Sprintf("netsim: duplicate flow %d", f.ID))
 	}
 	f.RotorClass = n.Router.RotorFlow(f)
-	if f.RotorClass && n.sharded != nil {
-		// RotorLB reads peer-ToR VOQ depths and destination downlink
-		// occupancy synchronously on the send path — cross-domain reads the
-		// lookahead contract cannot cover. The harness gates these configs
-		// before construction; this is the backstop.
-		panic("netsim: rotor-class flows are not supported on a sharded network")
-	}
 	f.dense = len(n.flowList)
 	n.flows[f.ID] = f
 	n.flowList = append(n.flowList, f)
@@ -406,6 +431,7 @@ func (n *Network) InFlightData() int64 {
 	for _, t := range n.ToRs {
 		for _, d := range t.down {
 			c += int64(d.queue.countData())
+			c += int64(d.stage.dataCount())
 		}
 		for _, u := range t.up {
 			for i := range u.cal {
@@ -420,26 +446,6 @@ func (n *Network) InFlightData() int64 {
 		}
 	}
 	return c
-}
-
-// downRoom reports whether the destination host's downlink queue has room
-// for more rotor traffic (the RotorLB final-hop backpressure stand-in).
-// The threshold is deliberately shallow — an eighth of the queue bound —
-// so bulk rotor traffic never builds deep downlink queues that would
-// head-of-line-block latency-sensitive source-routed traffic (the paper's
-// §9 buffering discussion).
-func (n *Network) downRoom(dstHost int) bool {
-	t := n.ToRs[n.HostToR(dstHost)]
-	dp := t.down[dstHost-t.id*n.F.HostsPerToR]
-	limit := dp.queue.MaxDataPackets
-	if limit == 0 {
-		return true
-	}
-	room := limit / 8
-	if room < 8 {
-		room = 8
-	}
-	return dp.queue.DataLen() < room
 }
 
 // serdelay is the serialization delay of a packet on a host-facing link.

@@ -20,11 +20,22 @@ func (m *byteMeter) take() int64 {
 // downPort is a ToR egress port toward one host: a plain queue and a link.
 // A downlink never leaves its ToR's domain (the host is in it), so the pump
 // schedules on the domain engine directly.
+//
+// Rotor-class data additionally has an unbounded staging fifo in front of
+// the queue: RotorLB is lossless by construction (no retransmission), so
+// arrivals above the shallow admission threshold park in the stage and are
+// admitted as the queue drains. Keeping the bounded queue shallow for rotor
+// bulk preserves the paper's §9 point — rotor traffic must not
+// head-of-line-block latency-sensitive source-routed traffic on a shared
+// downlink — while moving the room check from the sender (a cross-ToR read
+// the sharded lookahead contract cannot cover) to the receiver.
 type downPort struct {
 	net       *Network
 	dom       *domain
 	host      int // global host id
 	queue     Queue
+	stage     fifo // staged rotor-class data awaiting queue admission
+	room      int  // admission threshold; 0 disables staging
 	busyUntil sim.Time
 	meter     byteMeter
 
@@ -34,6 +45,15 @@ type downPort struct {
 }
 
 func (d *downPort) enqueue(p *Packet) {
+	if d.room > 0 && p.Type == Data && p.Flow != nil && p.Flow.RotorClass {
+		// FIFO within the rotor class: once anything is staged, everything
+		// stages behind it.
+		if d.stage.len() > 0 || d.queue.DataLen() >= d.room {
+			d.stage.push(p)
+			d.pump()
+			return
+		}
+	}
 	if !d.queue.Enqueue(p) {
 		d.dom.dropPacket(p)
 		return
@@ -45,6 +65,9 @@ func (d *downPort) pump() {
 	now := d.dom.eng.Now()
 	if now < d.busyUntil {
 		return
+	}
+	for d.stage.len() > 0 && d.queue.DataLen() < d.room {
+		d.queue.Enqueue(d.stage.pop())
 	}
 	p := d.queue.Dequeue()
 	if p == nil {
@@ -186,10 +209,10 @@ type uplinkPort struct {
 	busyUntil sim.Time
 	meter     byteMeter
 
-	// wake coalesces the port's self-wakeups (circuit-open waits, rotor
-	// backpressure retries, post-send re-arms) into one cancelable timer,
-	// where the heap engine used to accumulate a duplicate pump event per
-	// call while a circuit was closed.
+	// wake coalesces the port's self-wakeups (circuit-open waits and
+	// post-send re-arms) into one cancelable timer, where the heap engine
+	// used to accumulate a duplicate pump event per call while a circuit
+	// was closed.
 	wake *sim.Timer
 
 	// Cached per-slice state, valid while now < sliceEnd. Keyed on the
@@ -292,15 +315,7 @@ func (u *uplinkPort) pump() {
 		p.RouteIdx++
 		p.Rerouted = 0 // the per-ToR recirculation budget resets on departure
 	} else if u.tor.rotor != nil {
-		p = u.tor.rotor.selectPacket(peer, end-now)
-		if p == nil && u.tor.rotor.backlogFor(peer) {
-			// Blocked on final-hop backpressure: retry within the slice.
-			retry := now + u.net.serdelayUp(u.net.F.MTU)
-			if retry < end {
-				u.wakeAt(retry)
-			}
-			return
-		}
+		p = u.tor.rotor.selectPacket(peer, end-now, u.sliceAbs)
 	}
 	if p == nil {
 		return

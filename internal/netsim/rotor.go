@@ -14,7 +14,11 @@ import "ucmp/internal/sim"
 //
 // which is the RotorLB ordering from the Opera/RotorNet line of work. The
 // offer/accept exchange is replaced by a cap on the receiver's nonlocal
-// backlog, checked at the sender (documented substitution, DESIGN.md §1).
+// backlog, checked at the sender against the slice-boundary snapshot every
+// ToR publishes (documented substitution, DESIGN.md §1, §12): backlog
+// state crosses ToRs only at slice boundaries, which are at least one
+// lookahead window apart, so the exchange shards without synchronous peer
+// reads and behaves identically in serial and sharded runs.
 type rotorState struct {
 	tor *ToR
 
@@ -80,12 +84,13 @@ func (r *rotorState) pushNonlocal(p *Packet) {
 // selectPacket picks the next rotor packet to send toward peer. budget is
 // the serialization time remaining in the slice: a candidate fits when its
 // uplink serialization delay is within it (passed as a value so the hot
-// uplink pump does not allocate a predicate closure per call). Returns nil
-// when nothing eligible. Final-hop sends additionally require room in the
-// destination host's downlink queue: RotorLB is lossless via backpressure,
-// which this occupancy check stands in for (rotor traffic has no
-// retransmission).
-func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
+// uplink pump does not allocate a predicate closure per call). abs is the
+// current absolute slice, used to read the peer's published backlog
+// snapshot. Returns nil when nothing eligible. Final-hop room is no longer
+// checked here: the destination ToR stages rotor arrivals above its
+// downlink threshold (downPort.stage), so losslessness holds without a
+// cross-ToR occupancy read on the send path.
+func (r *rotorState) selectPacket(peer int, budget sim.Time, abs int64) *Packet {
 	if r.localPkts == 0 && r.nonlocalPkts == 0 {
 		return nil
 	}
@@ -98,13 +103,11 @@ func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
 		if !fits(p.WireLen) {
 			return nil
 		}
-		if r.tor.net.downRoom(p.DstHost) {
-			r.nonlocal[peer].pop()
-			r.nonlocalBytes[peer] -= int64(p.WireLen)
-			r.totalNonlocal -= int64(p.WireLen)
-			r.nonlocalPkts--
-			return p
-		}
+		r.nonlocal[peer].pop()
+		r.nonlocalBytes[peer] -= int64(p.WireLen)
+		r.totalNonlocal -= int64(p.WireLen)
+		r.nonlocalPkts--
+		return p
 	}
 	// 2. Local traffic with a direct circuit.
 	if r.local[peer].len() > 0 {
@@ -112,17 +115,14 @@ func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
 		if !fits(p.WireLen) {
 			return nil
 		}
-		if r.tor.net.downRoom(p.DstHost) {
-			r.local[peer].pop()
-			r.creditLocal(peer, p)
-			return p
-		}
+		r.local[peer].pop()
+		r.creditLocal(peer, p)
+		return p
 	}
 	// 3. Indirect: spare capacity carries other destinations via peer,
-	// bounded by the peer's nonlocal backlog (lossless stand-in for
-	// RotorLB's offer/accept).
-	peerRotor := r.tor.net.ToRs[peer].rotor
-	if peerRotor == nil || peerRotor.totalNonlocal >= r.tor.net.Rotor.NonlocalCapBytes {
+	// bounded by the peer's nonlocal backlog as of the last published slice
+	// boundary (lossless stand-in for RotorLB's offer/accept).
+	if r.tor.net.rotorBacklogAt(abs, peer) >= r.tor.net.Rotor.NonlocalCapBytes {
 		return nil
 	}
 	n := len(r.local)
@@ -141,15 +141,6 @@ func (r *rotorState) selectPacket(peer int, budget sim.Time) *Packet {
 		return p
 	}
 	return nil
-}
-
-// backlogFor reports whether traffic for a final hop toward peer is parked
-// here (used to retry after final-hop backpressure).
-func (r *rotorState) backlogFor(peer int) bool {
-	if r.localPkts == 0 && r.nonlocalPkts == 0 {
-		return false
-	}
-	return r.nonlocal[peer].len() > 0 || r.local[peer].len() > 0
 }
 
 // creditLocal updates accounting after a local packet left and wakes hosts

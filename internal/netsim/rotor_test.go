@@ -45,36 +45,45 @@ func TestRotorSelectPriority(t *testing.T) {
 	r.pushLocal(local)
 	r.pushNonlocal(second)
 
-	if got := r.selectPacket(peer, fitsAll); got != second {
+	if got := r.selectPacket(peer, fitsAll, 0); got != second {
 		t.Fatalf("first pick %v, want the nonlocal packet", got.Flow.ID)
 	}
-	if got := r.selectPacket(peer, fitsAll); got != local {
+	if got := r.selectPacket(peer, fitsAll, 0); got != local {
 		t.Fatalf("second pick flow %d, want the local direct packet", got.Flow.ID)
 	}
-	got := r.selectPacket(peer, fitsAll)
+	got := r.selectPacket(peer, fitsAll, 0)
 	if got != indirect {
 		t.Fatalf("third pick %v, want the indirect packet", got)
 	}
-	if r.selectPacket(peer, fitsAll) != nil {
+	if r.selectPacket(peer, fitsAll, 0) != nil {
 		t.Fatal("queues should be empty")
 	}
 }
 
-// Indirection stops when the peer's nonlocal backlog exceeds the cap.
+// Indirection stops when the peer's published nonlocal backlog exceeds the
+// cap. The sender sees the backlog through the slice-boundary board: the
+// peer publishes at its boundary, and readers in the next slice observe it.
 func TestRotorIndirectionBackpressure(t *testing.T) {
 	n := rotorNet(t)
 	n.Rotor.NonlocalCapBytes = 1000 // tiny
 	tor := n.ToRs[0]
 	peerToR := n.ToRs[5]
-	// Fill the peer's nonlocal VOQ beyond the cap.
+	// Fill the peer's nonlocal VOQ beyond the cap and publish the slice-0
+	// snapshot; slice-1 readers see it.
 	peerToR.rotor.pushNonlocal(rotorPkt(n, 10, 9))
+	peerToR.publishRotorBacklog(0)
 	tor.rotor.pushLocal(rotorPkt(n, 1, 9)) // candidate for indirection via 5
-	if p := tor.rotor.selectPacket(5, fitsAll); p != nil {
+	if p := tor.rotor.selectPacket(5, fitsAll, 1); p != nil {
 		t.Fatalf("indirected despite peer backlog: flow %d", p.Flow.ID)
+	}
+	// Before the publish is visible (slice 0 reads the zeroed board), the
+	// cap cannot bind — the documented one-slice staleness of the exchange.
+	if p := tor.rotor.selectPacket(5, fitsAll, 0); p == nil || p.Flow.ID != 1 {
+		t.Fatal("unpublished backlog should not cap indirection")
 	}
 	// Direct traffic unaffected by the indirection cap.
 	tor.rotor.pushLocal(rotorPkt(n, 2, 5))
-	if p := tor.rotor.selectPacket(5, fitsAll); p == nil || p.Flow.ID != 2 {
+	if p := tor.rotor.selectPacket(5, fitsAll, 1); p == nil || p.Flow.ID != 2 {
 		t.Fatal("direct packet blocked by indirection cap")
 	}
 }
@@ -96,7 +105,7 @@ func TestRotorCreditAndWaiters(t *testing.T) {
 	}
 	fired := false
 	tor.RotorNotify(dst, func() { fired = true })
-	if p := tor.rotor.selectPacket(dst, fitsAll); p == nil {
+	if p := tor.rotor.selectPacket(dst, fitsAll, 0); p == nil {
 		t.Fatal("drain failed")
 	}
 	if !fired {
@@ -112,13 +121,10 @@ func TestRotorBudgetBlocks(t *testing.T) {
 	n := rotorNet(t)
 	tor := n.ToRs[0]
 	tor.rotor.pushLocal(rotorPkt(n, 1, 5))
-	if tor.rotor.selectPacket(5, noTime) != nil {
+	if tor.rotor.selectPacket(5, noTime, 0) != nil {
 		t.Fatal("packet sent despite zero slice-time budget")
 	}
-	if !tor.rotor.backlogFor(5) {
-		t.Fatal("backlog lost")
-	}
-	if tor.rotor.selectPacket(5, fitsAll) == nil {
+	if tor.rotor.selectPacket(5, fitsAll, 0) == nil {
 		t.Fatal("packet gone")
 	}
 }

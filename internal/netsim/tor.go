@@ -41,12 +41,22 @@ func newToR(n *Network, id int, dom *domain) *ToR {
 	t.recvHostFn = func(a any) { t.receiveFromHost(a.(*Packet)) }
 	t.ingressFn = func(a any) { t.ingressArrive(a.(*Packet)) }
 	t.flushFn = t.flushIngress
+	// The rotor staging threshold is deliberately shallow — an eighth of
+	// the queue bound, at least 8 — so bulk rotor traffic never builds deep
+	// downlink queues (§9); an unbounded queue needs no staging.
+	room := 0
+	if limit := n.DownQueue.MaxDataPackets; limit > 0 {
+		if room = limit / 8; room < 8 {
+			room = 8
+		}
+	}
 	t.down = make([]*downPort, n.F.HostsPerToR)
 	for i := range t.down {
 		d := &downPort{
 			net:  n,
 			dom:  dom,
 			host: id*n.F.HostsPerToR + i,
+			room: room,
 			queue: Queue{
 				MaxDataPackets: n.DownQueue.MaxDataPackets,
 				ECNThreshold:   n.DownQueue.ECNThreshold,
@@ -69,11 +79,21 @@ func newToR(n *Network, id int, dom *domain) *ToR {
 // ID returns the ToR index.
 func (t *ToR) ID() int { return t.id }
 
-// onSliceStart expires the calendar queues of the slice that just ended —
-// every packet still parked there missed its circuit and is recirculated
-// with this ToR as its new source (§6.3) — then kicks the pumps for the new
+// onSliceStart publishes this ToR's rotor backlog snapshot for the new
+// slice, expires the calendar queues of the slice that just ended — every
+// packet still parked there missed its circuit and is recirculated with
+// this ToR as its new source (§6.3) — then kicks the pumps for the new
 // slice. expired is the cyclic index of the previous slice, -1 at slice 0.
+//
+// The publish happens first, before any boundary processing: at a boundary
+// instant a ToR's events mutate only its own rotor state, so the snapshot
+// equals the backlog at the boundary regardless of the order ToRs process
+// the boundary in — which is what makes it identical in serial (one event
+// iterating all ToRs) and sharded (one event per domain) runs.
 func (t *ToR) onSliceStart(abs int64, expired int) {
+	if t.rotor != nil {
+		t.publishRotorBacklog(abs)
+	}
 	if expired >= 0 {
 		fs := t.net.Faults
 		now := t.dom.eng.Now()
@@ -333,6 +353,12 @@ func (t *ToR) enqueueUplink(p *Packet, hop PlannedHop) bool {
 		u.pump()
 	}
 	return true
+}
+
+// publishRotorBacklog writes this ToR's nonlocal backlog into the board
+// slot for absolute slice abs (read by peers during slice abs+1).
+func (t *ToR) publishRotorBacklog(abs int64) {
+	t.net.rotorSnap[(abs&3)*int64(t.net.F.NumToRs)+int64(t.id)] = t.rotor.totalNonlocal
 }
 
 // rotorPushLocal admits a host packet into the RotorLB local VOQ.

@@ -128,7 +128,13 @@ func runLatticeSerial(kind QueueKind, lanes int, seed int64, window Time, horizo
 // runLatticeSharded runs the same model on a ShardedEngine, one lane per
 // domain.
 func runLatticeSharded(kind QueueKind, lanes, workers int, seed int64, window Time, horizons []Time, lattice bool) ([][]string, uint64) {
+	tr, n, _ := runLatticeShardedSteal(kind, lanes, workers, seed, window, horizons, lattice, true)
+	return tr, n
+}
+
+func runLatticeShardedSteal(kind QueueKind, lanes, workers int, seed int64, window Time, horizons []Time, lattice, steal bool) ([][]string, uint64, ShardStats) {
 	sh := NewShardedEngine(lanes, workers, window, kind)
+	sh.SetStealing(steal)
 	m := &shModel{
 		engOf:  sh.Domain,
 		send:   sh.Send,
@@ -141,7 +147,7 @@ func runLatticeSharded(kind QueueKind, lanes, workers int, seed int64, window Ti
 	for _, h := range horizons {
 		sh.Run(h)
 	}
-	return tracesOf(m), sh.Processed()
+	return tracesOf(m), sh.Processed(), sh.Stats()
 }
 
 func tracesOf(m *shModel) [][]string {
@@ -279,6 +285,91 @@ func TestShardedGlobalEvents(t *testing.T) {
 	st := sh.Stats()
 	if st.Windows == 0 || st.CrossEvents == 0 {
 		t.Fatalf("expected windows and cross events, got %+v", st)
+	}
+}
+
+// TestShardedAdaptiveWindow pins the adaptive extension: with purely
+// domain-local traffic no round ever produces a cross-domain send, so the
+// coordinator keeps widening the window and the barrier count falls far
+// below two-per-base-window. A global event mid-run caps the extension: it
+// must still fire at its exact timestamp with every domain strictly before
+// it, and a horizon that is not a multiple of the window must land exactly.
+func TestShardedAdaptiveWindow(t *testing.T) {
+	const window = Time(100)
+	const horizon = Time(123_457) // deliberately not window-aligned
+	sh := NewShardedEngine(4, 2, window, QueueWheel)
+	ticks := make([]int, 4)
+	for d := 0; d < 4; d++ {
+		d := d
+		var tick func()
+		tick = func() {
+			ticks[d]++
+			if e := sh.Domain(d); e.Now() < horizon-50 {
+				e.After(40, tick)
+			}
+		}
+		sh.Domain(d).At(0, func() { tick() })
+	}
+	globalFired := false
+	sh.Global(60_000, func() {
+		if sh.GlobalNow() != 60_000 {
+			t.Errorf("global clock %v, want 60000", sh.GlobalNow())
+		}
+		for i := 0; i < sh.Domains(); i++ {
+			if n := sh.Domain(i).Now(); n >= 60_000 {
+				t.Errorf("domain %d at %v not strictly before the global", i, n)
+			}
+		}
+		globalFired = true
+	})
+	if end := sh.Run(horizon); end != horizon {
+		t.Fatalf("run ended at %v, want %v", end, horizon)
+	}
+	if !globalFired {
+		t.Fatal("global event never fired")
+	}
+	for d, n := range ticks {
+		if n == 0 {
+			t.Fatalf("domain %d ran no events", d)
+		}
+	}
+	st := sh.Stats()
+	if st.Extensions == 0 {
+		t.Fatalf("local-only traffic produced no window extensions: %+v", st)
+	}
+	// Without extensions the run costs 2 barriers per base window; with them
+	// most windows collapse into extension rounds at 1 barrier each.
+	naive := 2 * uint64(horizon/window)
+	if st.Barriers >= naive {
+		t.Fatalf("adaptive windows did not reduce barriers: %d >= naive %d (%+v)", st.Barriers, naive, st)
+	}
+	if st.CrossEvents != 0 {
+		t.Fatalf("local-only traffic counted %d cross events", st.CrossEvents)
+	}
+}
+
+// TestShardedStealingEquivalence pins the SetStealing contract: work
+// stealing changes which worker runs a domain, never what the domain
+// computes — traces and event counts match with stealing on and off, and
+// the adaptive-extension verdict (a function of the model, not of
+// scheduling) matches too.
+func TestShardedStealingEquivalence(t *testing.T) {
+	const lanes = 6
+	const window = Time(777)
+	horizons := []Time{5 * window, 40 * window, Second}
+	for seed := int64(1); seed <= 4; seed++ {
+		on, onN, onSt := runLatticeShardedSteal(QueueWheel, lanes, 3, seed, window, horizons, false, true)
+		off, offN, offSt := runLatticeShardedSteal(QueueWheel, lanes, 3, seed, window, horizons, false, false)
+		compareTraces(t, fmt.Sprintf("seed %d stealing on vs off", seed), on, off)
+		if onN != offN {
+			t.Fatalf("seed %d: processed differs: %d vs %d", seed, onN, offN)
+		}
+		if offSt.Steals != 0 {
+			t.Fatalf("seed %d: stealing off recorded %d steals", seed, offSt.Steals)
+		}
+		if onSt.Windows != offSt.Windows || onSt.Extensions != offSt.Extensions || onSt.CrossEvents != offSt.CrossEvents {
+			t.Fatalf("seed %d: deterministic stats diverge: on=%+v off=%+v", seed, onSt, offSt)
+		}
 	}
 }
 
