@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-scaling
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-scaling scale-smoke
 
 check: vet staticcheck build test race
 
@@ -32,7 +32,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
-	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
+	$(GO) test -race -run 'TestCompiledTableBytesSymmetricVsBrute|TestSymmetricFastPathMatchesGroupPath|TestTableSetEviction|TestCompiledTableAgreesWithRouter' ./internal/routing
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestDifferentialLazyTables|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
 
 # bench regenerates the numbers tracked in results/BENCH_*.json: the offline
 # path-set build (results/BENCH_seed.json) and the netsim packet-path
@@ -119,6 +120,33 @@ bench-pr6:
 	$(GO) run ./cmd/benchjson -compare results/BENCH_pr5.json -maxregress 0.10 \
 		-method "make bench-pr6 (adaptive windows + domain grouping; serial hot paths at GOMAXPROCS=1 gated 10% vs results/BENCH_pr5.json; BenchmarkShardScaling at full core count)" \
 		< results/bench_pr6_raw.txt > results/BENCH_pr6.json
+
+# bench-pr7 refreshes the rotation-symmetry/packed-table record in two
+# stages landing in one results/BENCH_pr7.json: (1) the serial hot paths
+# under GOMAXPROCS=1, gated at 10% regression against results/BENCH_pr6.json
+# — the symmetric build and table rework must not tax the packet path; (2)
+# the N ∈ {108, 256, 512, 1024} scaling sweep (`ucmpbench -exp scale`),
+# which records offline build time, table compile time, peak heap via
+# runtime.MemStats, events/s, and the naive-vs-packed table rows per point.
+# The sweep entries are new in this record, so the comparison prints "(not
+# in baseline)" for them instead of gating.
+bench-pr7:
+	GOMAXPROCS=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$|BenchmarkSaturation64$$|BenchmarkSaturation64Sharded$$|BenchmarkSaturationFailover$$' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/netsim \
+		> results/.pr7_serial.tmp
+	$(GO) run ./cmd/ucmpbench -exp scale -benchfmt > results/.pr7_scale.tmp
+	cat results/.pr7_serial.tmp results/.pr7_scale.tmp > results/bench_pr7_raw.txt
+	rm -f results/.pr7_serial.tmp results/.pr7_scale.tmp
+	$(GO) run ./cmd/benchjson -compare results/BENCH_pr6.json -maxregress 0.10 \
+		-method "make bench-pr7 (rotation-symmetry dedup + arena-packed tables; serial hot paths at GOMAXPROCS=1 gated 10% vs results/BENCH_pr6.json; ScaleSweep N=108..1024 at full core count)" \
+		< results/bench_pr7_raw.txt > results/BENCH_pr7.json
+
+# scale-smoke is the CI wall-clock budget check: the 512-ToR point of the
+# scaling sweep (symmetric offline build + table compile + permutation sim)
+# must finish within the timeout on a cold cache.
+scale-smoke:
+	timeout 300 $(GO) run ./cmd/ucmpbench -exp scale -scale-ns 512
 
 # bench-scaling runs only the multicore sweep, printing raw `go test` lines:
 # the quick local answer to "does sharding win on this machine".

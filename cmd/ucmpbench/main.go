@@ -62,7 +62,12 @@ var allExps = []string{
 	"fig7", "fig8", "fig9", "fig10", "fig11",
 	"fig12", "fig12d", "fig13", "fig14", "fig15", "fig16", "fig17",
 	"ablation", "extension", "sweep", "failsweep",
+	"scale",
 }
+
+// heavyExps are excluded from -exp all: the 1024-ToR scaling sweep builds
+// gigabyte-class fabrics and is requested explicitly (`-exp scale`).
+var heavyExps = map[string]bool{"scale": true}
 
 func main() {
 	var (
@@ -77,6 +82,8 @@ func main() {
 		shardsF   = flag.Int("shards", 0, "run simulations on the sharded engine with this many workers (0/1 = serial)")
 		schedF    = flag.Bool("schedstats", false, "report per-exhibit scheduler internals (pending high-water, cascades, cancels) on stderr")
 		procsF    = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values to sweep; exhibits run once per value (empty = current setting)")
+		scaleNsF  = flag.String("scale-ns", "", "comma-separated fabric sizes for -exp scale (empty = 108,256,512,1024)")
+		benchFmtF = flag.Bool("benchfmt", false, "emit -exp scale results as `go test -bench` lines on stdout (for cmd/benchjson); the human report moves to stderr")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
@@ -131,7 +138,9 @@ func main() {
 	want := map[string]bool{}
 	if *expF == "all" {
 		for _, e := range allExps {
-			want[e] = true
+			if !heavyExps[e] {
+				want[e] = true
+			}
 		}
 	} else {
 		for _, e := range strings.Split(*expF, ",") {
@@ -155,7 +164,17 @@ func main() {
 		}
 	}
 
-	r := runner{full: *fullF, seed: *seedF, shards: *shardsF}
+	r := runner{full: *fullF, seed: *seedF, shards: *shardsF, benchFmt: *benchFmtF}
+	if *scaleNsF != "" {
+		for _, s := range strings.Split(*scaleNsF, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "ucmpbench: -scale-ns: bad value %q\n", s)
+				os.Exit(1)
+			}
+			r.scaleNs = append(r.scaleNs, n)
+		}
+	}
 	for _, p := range procs {
 		if p > 0 {
 			runtime.GOMAXPROCS(p)
@@ -196,9 +215,11 @@ func main() {
 }
 
 type runner struct {
-	full   bool
-	seed   int64
-	shards int
+	full     bool
+	seed     int64
+	shards   int
+	benchFmt bool
+	scaleNs  []int
 
 	ps *core.PathSet
 }
@@ -250,6 +271,19 @@ func (r *runner) run(exp string) error {
 			rows = []harness.Table3Row{{SliceUs: 1, N: 108, D: 6}, {SliceUs: 1, N: 324, D: 6}, {SliceUs: 5, N: 1200, D: 12}}
 		}
 		fmt.Println(harness.Table3(rows))
+	case "scale":
+		rep, pts, err := harness.ScaleSweep(harness.ScaleConfig{Ns: r.scaleNs, Seed: r.seed})
+		if err != nil {
+			return err
+		}
+		if r.benchFmt {
+			for _, l := range harness.BenchLines(pts) {
+				fmt.Println(l)
+			}
+			fmt.Fprintln(os.Stderr, rep)
+		} else {
+			fmt.Println(rep)
+		}
 	case "fig5a":
 		rep, _ := harness.Fig5a(r.pathSet())
 		fmt.Println(rep)

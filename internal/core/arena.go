@@ -46,14 +46,24 @@ type groupArena struct {
 // each kind roughly covers a full n² group row at the paper's typical ~3
 // paths and ~2.5 entries per group, so a row costs O(1) chunk allocations.
 func newGroupArena(n int) *groupArena {
-	pairs := n * n
+	return newScaledArena(n * n)
+}
+
+// newRowArena sizes the chunks for a single source row (n destinations):
+// the unit of the symmetric canonical build, which extracts O(S·N) groups
+// instead of O(S·N²).
+func newRowArena(n int) *groupArena {
+	return newScaledArena(n)
+}
+
+func newScaledArena(units int) *groupArena {
 	return &groupArena{
-		groups:  arena[Group]{size: pairs},
-		entries: arena[Entry]{size: 3 * pairs},
-		paths:   arena[Path]{size: 4 * pairs},
-		ptrs:    arena[*Path]{size: 4 * pairs},
-		hops:    arena[Hop]{size: 8 * pairs},
-		ints:    arena[int]{size: 3 * pairs},
-		floats:  arena[float64]{size: 2 * pairs},
+		groups:  arena[Group]{size: units},
+		entries: arena[Entry]{size: 3 * units},
+		paths:   arena[Path]{size: 4 * units},
+		ptrs:    arena[*Path]{size: 4 * units},
+		hops:    arena[Hop]{size: 8 * units},
+		ints:    arena[int]{size: 3 * units},
+		floats:  arena[float64]{size: 2 * units},
 	}
 }

@@ -147,8 +147,18 @@ func (c *Calculator) extend(t *Tables, h int) {
 			// Reuse the tie list's backing array from the previous
 			// starting slice computed on this scratch.
 			ties := t.par[h][row+dst][:0]
-			for mid := 0; mid < n; mid++ {
-				if mid == src || mid == dst {
+			// Intermediates are scanned in source-relative order
+			// (src+1, src+2, ... mod n) so that tie selection — both the
+			// primary pick and which ties survive the MaxParallel cap —
+			// is equivariant under ToR rotation: on a rotation-symmetric
+			// schedule the DP row of src is then exactly the rotated row
+			// of ToR 0, which the symmetric PathSet build relies on.
+			for k := 1; k < n; k++ {
+				mid := src + k
+				if mid >= n {
+					mid -= n
+				}
+				if mid == dst {
 					continue
 				}
 				e1 := prevEnd[row+mid]
@@ -198,7 +208,7 @@ func (c *Calculator) extend(t *Tables, h int) {
 // the per-intermediate arrival state (e1, its cycle position, the
 // slice-budget test) is hoisted out of it. Minimization state lives in the
 // cur* output rows; for every dst the intermediates arrive in the same
-// ascending order as in extend, so ties break identically.
+// source-relative order as in extend, so ties break identically.
 func (c *Calculator) extendDense(t *Tables, h int, nxt []int32) {
 	n := t.N
 	s := c.F.Sched.S
@@ -219,9 +229,12 @@ func (c *Calculator) extendDense(t *Tables, h int, nxt []int32) {
 		for dst := 0; dst < n; dst++ {
 			parH[row+dst] = parH[row+dst][:0]
 		}
-		for mid := 0; mid < n; mid++ {
-			if mid == src {
-				continue
+		// Source-relative intermediate order, as in extend: rotation
+		// equivariance of tie selection.
+		for k := 1; k < n; k++ {
+			mid := src + k
+			if mid >= n {
+				mid -= n
 			}
 			e1 := prevEnd[row+mid]
 			if e1 < 0 {

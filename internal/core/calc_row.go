@@ -4,7 +4,9 @@ package core
 // p^n(src, dst) only consults p^(n-1)(src, ·), so one source's row can be
 // computed in O(h_max · N²) without materializing the full N² table. This
 // is what makes switch-resource estimation (Table 2) tractable at 1024
-// ToRs, where the full PathSet would be O(N³) per starting slice.
+// ToRs — and, with tie lists retained, what the rotation-symmetric PathSet
+// build runs per starting slice: one canonical source row stands in for all
+// N rotated sources.
 type RowTables struct {
 	N          int
 	HMax       int
@@ -14,23 +16,47 @@ type RowTables struct {
 	end   [][]int64 // [n][dst]
 	last  [][]int32
 	hLast [][]int8
+	par   [][][]int32 // tied alternative last hops (excluding primary)
 }
 
 // ComputeRow runs the DP for a single source ToR and starting slice.
 func (c *Calculator) ComputeRow(tstart, src int) *RowTables {
+	return c.ComputeRowInto(tstart, src, nil)
+}
+
+// ComputeRowInto is ComputeRow reusing a scratch RowTables from a previous
+// call, mirroring ComputeInto: the DP arrays and tie-list backing arrays
+// are recycled across starting slices. Passing nil allocates fresh tables.
+// The returned tables alias the scratch; callers must extract what they
+// need before the next ComputeRowInto on the same scratch.
+//
+// The intermediate scan order, the slice hop budget, and the tie selection
+// (primary pick, demotions, MaxParallel cap) replicate extend exactly, so a
+// row's paths — parallels included — are identical to the corresponding row
+// of the full Tables.
+func (c *Calculator) ComputeRowInto(tstart, src int, t *RowTables) *RowTables {
 	n := c.F.Sched.N
 	sched := c.F.Sched
-	t := &RowTables{N: n, HMax: c.HMax, Src: src, StartSlice: int64(tstart)}
-	t.end = make([][]int64, c.HMax+1)
-	t.last = make([][]int32, c.HMax+1)
-	t.hLast = make([][]int8, c.HMax+1)
+	if t == nil || t.N != n || t.HMax != c.HMax {
+		t = &RowTables{N: n, HMax: c.HMax}
+		t.end = make([][]int64, c.HMax+1)
+		t.last = make([][]int32, c.HMax+1)
+		t.hLast = make([][]int8, c.HMax+1)
+		t.par = make([][][]int32, c.HMax+1)
+		for h := 1; h <= c.HMax; h++ {
+			t.end[h] = make([]int64, n)
+			t.last[h] = make([]int32, n)
+			t.hLast[h] = make([]int8, n)
+			t.par[h] = make([][]int32, n)
+		}
+	}
+	t.Src = src
+	t.StartSlice = int64(tstart)
 	for h := 1; h <= c.HMax; h++ {
-		t.end[h] = make([]int64, n)
-		t.last[h] = make([]int32, n)
-		t.hLast[h] = make([]int8, n)
 		for i := range t.end[h] {
 			t.end[h][i] = -1
 			t.last[h][i] = -1
+			t.hLast[h][i] = 0
 		}
 	}
 	for dst := 0; dst < n; dst++ {
@@ -41,6 +67,8 @@ func (c *Calculator) ComputeRow(tstart, src int) *RowTables {
 		t.hLast[1][dst] = 1
 	}
 	for h := 2; h <= c.HMax; h++ {
+		prevEnd := t.end[h-1]
+		prevHL := t.hLast[h-1]
 		for dst := 0; dst < n; dst++ {
 			if dst == src {
 				continue
@@ -48,33 +76,160 @@ func (c *Calculator) ComputeRow(tstart, src int) *RowTables {
 			bestEnd := int64(-1)
 			var bestLast int32 = -1
 			var bestHL int8
-			for mid := 0; mid < n; mid++ {
-				if mid == src || mid == dst {
+			ties := t.par[h][dst][:0]
+			// Source-relative intermediate order, as in extend: rotation
+			// equivariance of tie selection.
+			for k := 1; k < n; k++ {
+				mid := src + k
+				if mid >= n {
+					mid -= n
+				}
+				if mid == dst {
 					continue
 				}
-				e1 := t.end[h-1][mid]
+				e1 := prevEnd[mid]
 				if e1 < 0 {
 					continue
 				}
 				e2 := sched.NextDirect(mid, dst, e1)
 				hl := int8(1)
 				if e2 == e1 {
-					if int(t.hLast[h-1][mid]) >= c.HSlice {
+					if int(prevHL[mid]) >= c.HSlice {
 						e2 = sched.NextDirect(mid, dst, e1+1)
 					} else {
-						hl = t.hLast[h-1][mid] + 1
+						hl = prevHL[mid] + 1
 					}
 				}
-				if bestEnd < 0 || e2 < bestEnd || (e2 == bestEnd && hl < bestHL) {
+				switch {
+				case bestEnd < 0 || e2 < bestEnd:
 					bestEnd, bestLast, bestHL = e2, int32(mid), hl
+					ties = ties[:0]
+				case e2 == bestEnd:
+					if hl < bestHL {
+						// Prefer the variant leaving slack in the final
+						// slice; demote the old primary to a tie.
+						ties = appendTie(ties, bestLast, c.MaxParallel-1)
+						bestLast, bestHL = int32(mid), hl
+					} else {
+						ties = appendTie(ties, int32(mid), c.MaxParallel-1)
+					}
 				}
 			}
 			t.end[h][dst] = bestEnd
 			t.last[h][dst] = bestLast
 			t.hLast[h][dst] = bestHL
+			t.par[h][dst] = ties
 		}
 	}
 	return t
+}
+
+// fill writes the hops of the n-hop primary path src->dst into hops[0:n],
+// walking the last links back from dst (the single-source counterpart of
+// Tables.fill: every prefix src->mid also lives in this row).
+func (t *RowTables) fill(hops []Hop, n, dst int) bool {
+	for ; n >= 1; n-- {
+		e := t.end[n][dst]
+		if e < 0 {
+			return false
+		}
+		hops[n-1] = Hop{To: dst, Slice: e}
+		if n == 1 {
+			return true
+		}
+		mid := int(t.last[n][dst])
+		if mid < 0 {
+			return false
+		}
+		dst = mid
+	}
+	return false
+}
+
+// parallelPathsInto returns every retained n-hop minimum-latency path (the
+// primary plus ties) for src->dst, with all memory carved from the arena.
+func (t *RowTables) parallelPathsInto(a *groupArena, n, dst int) []*Path {
+	if n < 1 || n > t.HMax {
+		return nil
+	}
+	e := t.end[n][dst]
+	if e < 0 {
+		return nil
+	}
+	var ties []int32
+	if n >= 2 {
+		ties = t.par[n][dst]
+	}
+	out := a.ptrs.take(1 + len(ties))[:0]
+	p := a.paths.one()
+	p.Src, p.Dst, p.StartSlice = t.Src, dst, t.StartSlice
+	p.Hops = a.hops.take(n)
+	if !t.fill(p.Hops, n, dst) {
+		return nil
+	}
+	out = append(out, p)
+	for _, alt := range ties {
+		q := a.paths.one()
+		q.Src, q.Dst, q.StartSlice = t.Src, dst, t.StartSlice
+		q.Hops = a.hops.take(n)
+		q.Hops[n-1] = Hop{To: dst, Slice: e}
+		if t.fill(q.Hops[:n-1], n-1, int(alt)) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// groupFromRow extracts the UCMP group for one destination of the row: the
+// single-source counterpart of groupInto, with identical property-3
+// filtering, exact arena sizing, and bucket construction.
+func (c *Calculator) groupFromRow(a *groupArena, t *RowTables, dst int, m CostModel) *Group {
+	g := a.groups.one()
+	g.Src, g.Dst, g.StartSlice = t.Src, dst, int(t.StartSlice)
+	cnt := 0
+	best := int64(1) << 62
+	for n := 1; n <= t.HMax; n++ {
+		e := t.end[n][dst]
+		if e < 0 {
+			continue
+		}
+		lat := e - t.StartSlice + 1
+		if lat >= best {
+			continue
+		}
+		cnt++
+		best = lat
+		if lat == 1 {
+			break
+		}
+	}
+	g.Entries = a.entries.take(cnt)[:0]
+	best = int64(1) << 62
+	for n := 1; n <= t.HMax; n++ {
+		e := t.end[n][dst]
+		if e < 0 {
+			continue
+		}
+		lat := e - t.StartSlice + 1
+		if lat >= best {
+			continue
+		}
+		g.Entries = append(g.Entries, Entry{
+			HopCount:      n,
+			LatencySlices: lat,
+			Paths:         t.parallelPathsInto(a, n, dst),
+		})
+		best = lat
+		if lat == 1 {
+			break // global minimum latency: nothing to the right qualifies
+		}
+	}
+	g.hull = a.ints.take(len(g.Entries))[:0]
+	if len(g.Entries) > 1 {
+		g.thrFree = a.floats.take(len(g.Entries) - 1)[:0]
+	}
+	g.BuildBuckets(m)
+	return g
 }
 
 // GroupShape summarizes one group's bucket structure without materializing

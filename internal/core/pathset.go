@@ -17,7 +17,15 @@ type PathSet struct {
 	Calc  *Calculator
 	Model CostModel
 
-	groups [][]*Group // [t_start][src*N+dst]
+	groups [][]*Group // [t_start][src*N+dst]; nil for symmetric builds
+
+	// Symmetric (canonical) storage, used when sym is true: canonIdx maps
+	// (t_start*N + Δ) to an index into interned, the content-deduped store
+	// of t_start-relative canonical groups (see pathset_sym.go). groups
+	// stays nil — there is no N² spine at all.
+	sym      bool
+	canonIdx []int32
+	interned []*Group
 }
 
 // BuildOptions tunes the offline build. The zero value picks the defaults.
@@ -29,8 +37,13 @@ type BuildOptions struct {
 	// Workers bounds the pool computing starting slices concurrently.
 	// 0 uses runtime.GOMAXPROCS(0); 1 forces the serial build. The output
 	// is identical for every worker count: slices are independent DP
-	// problems and each worker writes only the rows it claimed.
+	// problems and each worker writes only the rows it claimed. The pool
+	// is always clamped to the number of starting slices.
 	Workers int
+	// NoSymmetry forces the brute-force O(S·N²) build even when the
+	// schedule's Rotation() witness holds — the reference side of the
+	// symmetric-vs-brute differential tests, and an ablation knob.
+	NoSymmetry bool
 }
 
 // BuildPathSet runs offline path calculation for every starting slice of
@@ -64,14 +77,12 @@ func BuildPathSetOpts(f *topo.Fabric, alpha float64, opt BuildOptions) *PathSet 
 		},
 	}
 	s := f.Sched.S
+	workers := effectiveWorkers(opt.Workers, s)
+	if f.Sched.Rotation() && !opt.NoSymmetry {
+		ps.buildSymmetric(workers)
+		return ps
+	}
 	ps.groups = make([][]*Group, s)
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > s {
-		workers = s
-	}
 	if workers <= 1 {
 		var scratch *Tables
 		for ts := 0; ts < s; ts++ {
@@ -105,6 +116,24 @@ func BuildPathSetOpts(f *topo.Fabric, alpha float64, opt BuildOptions) *PathSet 
 	return ps
 }
 
+// effectiveWorkers resolves a requested worker count against the number of
+// parallelizable tasks: non-positive requests take GOMAXPROCS, and the pool
+// never exceeds the task count (tiny-S fabrics must not spin idle
+// goroutines) nor drops below one.
+func effectiveWorkers(requested, tasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // groupRow extracts every pair's group for one starting slice, detaching
 // all paths and thresholds from the (reusable) DP scratch.
 func (c *Calculator) groupRow(t *Tables, m CostModel) []*Group {
@@ -123,7 +152,13 @@ func (c *Calculator) groupRow(t *Tables, m CostModel) []*Group {
 }
 
 // Group returns the UCMP group for a cyclic starting slice and ToR pair.
+// On a symmetric build this materializes (allocates) the group from its
+// canonical representative; hot paths should use CanonGroup plus inline
+// hop relabeling instead.
 func (ps *PathSet) Group(tstart, src, dst int) *Group {
+	if ps.sym {
+		return ps.materializeGroup(tstart, src, dst)
+	}
 	return ps.groups[tstart][src*ps.F.Sched.N+dst]
 }
 
@@ -136,32 +171,45 @@ func (ps *PathSet) SetAlpha(alpha float64) { ps.Model.Alpha = alpha }
 // every UCMP group (§6.1): the globally recognizable stepping thresholds
 // for flow aging. Values within one slice-duration quantum are merged.
 func (ps *PathSet) GlobalThresholds() []float64 {
-	// Pre-size from the exact total threshold count (a cheap counting pass)
-	// so neither the dedup map nor the output slice rehashes/regrows.
-	total := 0
-	for _, row := range ps.groups {
-		for _, g := range row {
-			if g != nil {
-				total += len(g.thrFree)
+	// Thresholds are α-free functions of (hop, latency) hull points, which
+	// rotation and time shift preserve — on a symmetric build the union
+	// over the interned canonical groups is exactly the union over all
+	// (t_start, src, dst) groups.
+	if ps.sym {
+		return globalThresholds(func(yield func(*Group)) {
+			for _, g := range ps.interned {
+				yield(g)
 			}
-		}
+		})
 	}
-	seen := make(map[int64]struct{}, total)
-	out := make([]float64, 0, total)
-	for _, row := range ps.groups {
-		for _, g := range row {
-			if g == nil {
-				continue
-			}
-			for _, thr := range g.Thresholds() {
-				k := int64(thr) // thresholds are whole byte counts apart
-				if _, ok := seen[k]; !ok {
-					seen[k] = struct{}{}
-					out = append(out, thr)
+	return globalThresholds(func(yield func(*Group)) {
+		for _, row := range ps.groups {
+			for _, g := range row {
+				if g != nil {
+					yield(g)
 				}
 			}
 		}
-	}
+	})
+}
+
+// globalThresholds merges the bucket boundaries of every group produced by
+// the iterator. A counting prepass pre-sizes the dedup map and output so
+// neither rehashes/regrows.
+func globalThresholds(each func(yield func(*Group))) []float64 {
+	total := 0
+	each(func(g *Group) { total += len(g.thrFree) })
+	seen := make(map[int64]struct{}, total)
+	out := make([]float64, 0, total)
+	each(func(g *Group) {
+		for _, thr := range g.Thresholds() {
+			k := int64(thr) // thresholds are whole byte counts apart
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				out = append(out, thr)
+			}
+		}
+	})
 	sort.Float64s(out)
 	return out
 }
@@ -228,16 +276,29 @@ func (ps *PathSet) BackupPaths(tstart, src, dst, k int, exclude func(tor int) bo
 // backup (3.9% in the paper).
 func (ps *PathSet) SingleSliceShare() (groupShare, pathShare float64) {
 	single, groups, paths := 0, 0, 0
-	for _, row := range ps.groups {
-		for _, g := range row {
-			if g == nil {
-				continue
+	count := func(g *Group) {
+		groups++
+		np := g.NumPaths()
+		paths += np
+		if np == 1 {
+			single++
+		}
+	}
+	if ps.sym {
+		// Each canonical (t_start, Δ) reference stands for exactly N
+		// (src, dst) pairs, so counting references weighs every concrete
+		// group equally and the shares are unchanged.
+		for _, idx := range ps.canonIdx {
+			if idx >= 0 {
+				count(ps.interned[idx])
 			}
-			groups++
-			np := g.NumPaths()
-			paths += np
-			if np == 1 {
-				single++
+		}
+	} else {
+		for _, row := range ps.groups {
+			for _, g := range row {
+				if g != nil {
+					count(g)
+				}
 			}
 		}
 	}

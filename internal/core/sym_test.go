@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ucmp/internal/topo"
+)
+
+func symFabric(t *testing.T, n, d int) *topo.Fabric {
+	t.Helper()
+	cfg := topo.Scaled()
+	cfg.NumToRs, cfg.Uplinks = n, d
+	f, err := topo.NewFabric(cfg, "round-robin", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Sched.Rotation() {
+		t.Fatalf("RoundRobin(%d,%d) not rotation-symmetric", n, d)
+	}
+	return f
+}
+
+// groupString renders everything observable about a group: entry structure,
+// every path's absolute hops, the hull, and the thresholds.
+func groupString(g *Group) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "src=%d dst=%d ts=%d hull=%v thr=%v\n", g.Src, g.Dst, g.StartSlice, g.hull, g.thrFree)
+	for _, e := range g.Entries {
+		fmt.Fprintf(&b, " h=%d lat=%d paths=%d\n", e.HopCount, e.LatencySlices, len(e.Paths))
+		for _, p := range e.Paths {
+			fmt.Fprintf(&b, "  %d->%d@%d:", p.Src, p.Dst, p.StartSlice)
+			for _, hp := range p.Hops {
+				fmt.Fprintf(&b, " (%d,%d)", hp.To, hp.Slice)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// TestSymmetricBuildMatchesBrute is the tentpole differential: on small
+// symmetric fabrics, the canonical O(S·N) build must be group-for-group
+// identical to the brute-force O(S·N²) build — same entries, same absolute
+// hop sequences, same parallel-path sets, same hulls and thresholds — for
+// every (t_start, src, dst) and across both bucket configurations
+// (MaxParallel 1 and the default 4).
+func TestSymmetricBuildMatchesBrute(t *testing.T) {
+	for _, nd := range [][2]int{{8, 4}, {16, 4}} {
+		for _, mp := range []int{1, 4} {
+			f := symFabric(t, nd[0], nd[1])
+			sym := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp})
+			if !sym.Symmetric() {
+				t.Fatalf("(%d,%d): symmetric build not taken", nd[0], nd[1])
+			}
+			brute := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp, NoSymmetry: true})
+			if brute.Symmetric() {
+				t.Fatalf("(%d,%d): NoSymmetry ignored", nd[0], nd[1])
+			}
+			s, n := f.Sched.S, f.Sched.N
+			for ts := 0; ts < s; ts++ {
+				for src := 0; src < n; src++ {
+					for dst := 0; dst < n; dst++ {
+						if src == dst {
+							continue
+						}
+						gs := groupString(sym.Group(ts, src, dst))
+						gb := groupString(brute.Group(ts, src, dst))
+						if gs != gb {
+							t.Fatalf("(%d,%d) mp=%d group (%d,%d,%d) differs:\nsym:\n%s\nbrute:\n%s",
+								nd[0], nd[1], mp, ts, src, dst, gs, gb)
+						}
+					}
+				}
+			}
+			// The derived global structures must agree too.
+			st, bt := sym.GlobalThresholds(), brute.GlobalThresholds()
+			if len(st) != len(bt) {
+				t.Fatalf("threshold counts differ: %d vs %d", len(st), len(bt))
+			}
+			for i := range st {
+				if st[i] != bt[i] {
+					t.Fatalf("threshold %d differs: %v vs %v", i, st[i], bt[i])
+				}
+			}
+			sg, sp := sym.SingleSliceShare()
+			bg, bp := brute.SingleSliceShare()
+			if sg != bg || sp != bp {
+				t.Fatalf("single-slice shares differ: (%v,%v) vs (%v,%v)", sg, sp, bg, bp)
+			}
+		}
+	}
+}
+
+// TestSymmetricBuildWorkerInvariance: the interned store and spine must be
+// byte-identical regardless of worker count (the interning pass is serial).
+func TestSymmetricBuildWorkerInvariance(t *testing.T) {
+	f := symFabric(t, 16, 4)
+	ref := BuildPathSetOpts(f, 0.5, BuildOptions{Workers: 1})
+	for _, w := range []int{2, 3, 8} {
+		ps := BuildPathSetOpts(f, 0.5, BuildOptions{Workers: w})
+		if len(ps.interned) != len(ref.interned) {
+			t.Fatalf("workers=%d: %d interned vs %d", w, len(ps.interned), len(ref.interned))
+		}
+		for i := range ps.canonIdx {
+			if ps.canonIdx[i] != ref.canonIdx[i] {
+				t.Fatalf("workers=%d: spine differs at %d", w, i)
+			}
+		}
+		for i := range ps.interned {
+			if groupString(ps.interned[i]) != groupString(ref.interned[i]) {
+				t.Fatalf("workers=%d: interned %d differs", w, i)
+			}
+		}
+	}
+}
+
+// TestCanonStats: the spine covers S·(N-1) rows and dedup never exceeds it.
+func TestCanonStats(t *testing.T) {
+	f := symFabric(t, 16, 4)
+	ps := BuildPathSet(f, 0.5)
+	rows, unique := ps.CanonStats()
+	if rows != f.Sched.S*(f.Sched.N-1) {
+		t.Fatalf("rows = %d, want %d", rows, f.Sched.S*(f.Sched.N-1))
+	}
+	if unique < 1 || unique > rows {
+		t.Fatalf("unique = %d outside [1, %d]", unique, rows)
+	}
+	// Every canonical group validates and is t_start-relative.
+	for _, g := range ps.interned {
+		if g.Src != 0 || g.StartSlice != 0 {
+			t.Fatalf("canonical group not in relative form: src=%d ts=%d", g.Src, g.StartSlice)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-symmetric builds report zero.
+	cfg := topo.Scaled()
+	bf := topo.MustFabric(cfg, "round-robin", 1) // 16 ToRs, 3 uplinks: circle method
+	bps := BuildPathSet(bf, 0.5)
+	if bps.Symmetric() {
+		t.Fatal("circle-method schedule took the symmetric build")
+	}
+	if r, u := bps.CanonStats(); r != 0 || u != 0 {
+		t.Fatalf("non-symmetric CanonStats = (%d,%d)", r, u)
+	}
+}
+
+// TestEffectiveWorkers pins the clamp: never above the task count, never
+// below one, GOMAXPROCS default for non-positive requests.
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct{ req, tasks, want int }{
+		{8, 3, 3},
+		{2, 5, 2},
+		{1, 5, 1},
+		{5, 1, 1},
+		{16, 16, 16},
+		{3, 0, 1}, // degenerate task count still yields a worker
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.req, c.tasks); got != c.want {
+			t.Errorf("effectiveWorkers(%d,%d) = %d, want %d", c.req, c.tasks, got, c.want)
+		}
+	}
+	if got := effectiveWorkers(0, 2); got < 1 || got > 2 {
+		t.Errorf("effectiveWorkers(0,2) = %d, want within [1,2]", got)
+	}
+	if got := effectiveWorkers(-1, 1000); got < 1 || got > 1000 {
+		t.Errorf("effectiveWorkers(-1,1000) = %d out of range", got)
+	}
+}
+
+// TestRowTablesMatchFullTablesWithTies: ComputeRowInto must reproduce the
+// full DP's rows including tie lists on an asymmetric schedule too (it is
+// also the switchres sampling path).
+func TestRowTablesMatchFullTablesWithTies(t *testing.T) {
+	f := topo.MustFabric(topo.Scaled(), "round-robin", 1) // 16/3: circle method
+	calc := NewCalculator(f)
+	for _, ts := range []int{0, f.Sched.S - 1} {
+		full := calc.Compute(ts)
+		var rt *RowTables
+		for src := 0; src < f.Sched.N; src += 5 {
+			rt = calc.ComputeRowInto(ts, src, rt)
+			for h := 1; h <= calc.HMax; h++ {
+				for dst := 0; dst < f.Sched.N; dst++ {
+					if dst == src {
+						continue
+					}
+					if rt.end[h][dst] != full.end[h][src*full.N+dst] {
+						t.Fatalf("end[%d][%d->%d] differs", h, src, dst)
+					}
+					if rt.last[h][dst] != full.last[h][src*full.N+dst] {
+						t.Fatalf("last[%d][%d->%d] differs", h, src, dst)
+					}
+					if h >= 2 {
+						a, b := rt.par[h][dst], full.par[h][src*full.N+dst]
+						if len(a) != len(b) {
+							t.Fatalf("ties[%d][%d->%d]: %v vs %v", h, src, dst, a, b)
+						}
+						for i := range a {
+							if a[i] != b[i] {
+								t.Fatalf("ties[%d][%d->%d]: %v vs %v", h, src, dst, a, b)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

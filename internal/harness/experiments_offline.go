@@ -54,19 +54,33 @@ type Table2Row struct{ N, D int }
 // Table2Scales are the paper's four configurations.
 var Table2Scales = []Table2Row{{108, 6}, {324, 12}, {768, 24}, {1024, 32}}
 
-// Table2 reproduces the hardware resource usage table (§8, Table 2).
+// Table2 reproduces the hardware resource usage table (§8, Table 2), with
+// both the naive per-bucket entry count and the bucket-range-collapsed one.
+// On rotation-symmetric schedules (the power-of-two scales) the collapsed
+// and packed-SRAM columns come from an actual compiled source-routing table
+// rather than the sampled model.
 func Table2(scales []Table2Row) (*Report, []switchres.Usage) {
 	r := &Report{Title: "Table 2: switch resource usage per RDCN scale"}
-	r.Addf("%-12s %-9s %-9s %-13s %-8s", "(N,d)", "#Q/port", "#Buckets", "#Entries/ToR", "SRAM")
+	r.Addf("%-12s %-9s %-9s %-13s %-13s %-8s", "(N,d)", "#Q/port", "#Buckets", "#Naive/ToR", "#Entries/ToR", "SRAM")
 	var rows []switchres.Usage
 	for _, sc := range scales {
 		cfg := topo.PaperDefault()
 		cfg.NumToRs, cfg.Uplinks, cfg.HostsPerToR = sc.N, sc.D, sc.D
 		fab := topo.MustFabric(cfg, "round-robin", 1)
-		u := switchres.Compute(fab, 0.5, switchres.Sampling{})
+		var u switchres.Usage
+		if fab.Sched.Rotation() {
+			u = switchres.ComputeExact(fab, 0.5, switchres.Sampling{})
+		} else {
+			u = switchres.Compute(fab, 0.5, switchres.Sampling{})
+		}
 		rows = append(rows, u)
-		r.Addf("(%d, %d)%*s %-9d %-9d %-13d %.2f%%",
-			sc.N, sc.D, 11-len2(sc.N, sc.D), "", u.QueuesPerPort, u.Buckets, u.EntriesPerToR, u.SRAMPct)
+		entries, sram, note := u.EntriesPerToR, u.SRAMPct, ""
+		if u.Exact {
+			entries, sram, note = u.PackedEntriesPerToR, u.PackedSRAMPct, " (exact)"
+		}
+		r.Addf("(%d, %d)%*s %-9d %-9d %-13d %-13d %.2f%%%s",
+			sc.N, sc.D, 11-len2(sc.N, sc.D), "", u.QueuesPerPort, u.Buckets,
+			u.NaiveEntriesPerToR, entries, sram, note)
 	}
 	return r, rows
 }

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/switchres"
+	"ucmp/internal/topo"
+	"ucmp/internal/transport"
+)
+
+// ScalePoint is one fabric size of the scaling sweep: offline build,
+// table compile, and an end-to-end permutation simulation, with wall-clock
+// and peak-memory accounting per phase. It is the record behind
+// results/BENCH_pr7.json and the README's "scaling to 1024 ToRs" table.
+type ScalePoint struct {
+	N, D int
+
+	// Symmetric reports whether the rotation-symmetric canonical build ran;
+	// CanonRows/CanonUnique are its S·(N-1) spine size and the interned
+	// group count after content dedup (zero for brute-force builds).
+	Symmetric   bool
+	CanonRows   int
+	CanonUnique int
+
+	// Phase wall clocks. SimSec covers the whole Run, including the
+	// router's own path-set build.
+	BuildSec   float64
+	CompileSec float64
+	SimSec     float64
+
+	// Peak heap accounting over the whole point (runtime.MemStats sampled
+	// concurrently): the high-water live heap and the OS-reserved bytes.
+	PeakHeapBytes uint64
+	PeakSysBytes  uint64
+
+	// Compiled-table footprint for one source ToR.
+	NaiveRows   int
+	PackedRows  int
+	PackedBytes int
+
+	// Permutation run outcome.
+	Flows        int
+	Finished     int
+	Events       uint64
+	EventsPerSec float64
+}
+
+// memSampler polls runtime.MemStats and keeps the high-water marks. Each
+// ReadMemStats stops the world briefly, so the poll period is coarse.
+type memSampler struct {
+	mu       sync.Mutex
+	peakHeap uint64
+	peakSys  uint64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startMemSampler(every time.Duration) *memSampler {
+	s := &memSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *memSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.mu.Lock()
+	if m.HeapAlloc > s.peakHeap {
+		s.peakHeap = m.HeapAlloc
+	}
+	if m.Sys > s.peakSys {
+		s.peakSys = m.Sys
+	}
+	s.mu.Unlock()
+}
+
+// halt takes a final sample and returns the high-water marks.
+func (s *memSampler) halt() (peakHeap, peakSys uint64) {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peakHeap, s.peakSys
+}
+
+// ScaleConfig tunes the sweep.
+type ScaleConfig struct {
+	Ns       []int    // fabric sizes; nil: DefaultScaleNs
+	D        int      // uplinks per ToR; 0: 8
+	FlowSize int64    // bytes per permutation flow; 0: 64 KiB
+	Horizon  sim.Time // sim horizon; 0: 20 ms
+	Seed     int64
+}
+
+// DefaultScaleNs are the sweep's fabric sizes: the paper scale plus the
+// power-of-two ladder to the 1024-ToR north star. 108 is not a power of
+// two, so it exercises the brute-force fallback; the rest take the
+// rotation-symmetric canonical build.
+var DefaultScaleNs = []int{108, 256, 512, 1024}
+
+// ScaleSweep measures offline build, table compile, and an end-to-end
+// permutation simulation at each fabric size.
+func ScaleSweep(cfg ScaleConfig) (*Report, []ScalePoint, error) {
+	ns := cfg.Ns
+	if ns == nil {
+		ns = DefaultScaleNs
+	}
+	d := cfg.D
+	if d == 0 {
+		d = 8
+	}
+	flowSize := cfg.FlowSize
+	if flowSize == 0 {
+		flowSize = 64 << 10
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = 20 * sim.Millisecond
+	}
+
+	r := &Report{Title: fmt.Sprintf("Scaling sweep: permutation run, d=%d, %d KiB flows", d, flowSize>>10)}
+	r.Addf("%-7s %-5s %-9s %-9s %-8s %-8s %-9s %-10s %-10s %-11s %-9s",
+		"N", "sym", "build(s)", "canon", "compile", "sim(s)", "events", "events/s", "rows", "packed(KB)", "peak(MB)")
+	var points []ScalePoint
+	for _, n := range ns {
+		p, err := scalePoint(n, d, flowSize, horizon, cfg.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scale N=%d: %w", n, err)
+		}
+		points = append(points, p)
+		canon := "-"
+		if p.Symmetric {
+			canon = fmt.Sprintf("%d/%d", p.CanonUnique, p.CanonRows)
+		}
+		r.Addf("%-7d %-5v %-9.2f %-9s %-8.2f %-8.2f %-9d %-10.0f %-10s %-11d %-9.0f",
+			p.N, p.Symmetric, p.BuildSec, canon, p.CompileSec, p.SimSec, p.Events, p.EventsPerSec,
+			fmt.Sprintf("%d/%d", p.PackedRows, p.NaiveRows), p.PackedBytes>>10, float64(p.PeakHeapBytes)/(1<<20))
+	}
+	return r, points, nil
+}
+
+func scalePoint(n, d int, flowSize int64, horizon sim.Time, seed int64) (ScalePoint, error) {
+	tc := topo.Scaled()
+	tc.NumToRs, tc.Uplinks = n, d
+	fab, err := topo.NewFabric(tc, "round-robin", seed)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	p := ScalePoint{N: n, D: d, Symmetric: fab.Sched.Rotation()}
+
+	sampler := startMemSampler(50 * time.Millisecond)
+
+	t0 := time.Now()
+	ps := core.BuildPathSet(fab, 0.5)
+	p.BuildSec = time.Since(t0).Seconds()
+	p.CanonRows, p.CanonUnique = ps.CanonStats()
+
+	t0 = time.Now()
+	p.NaiveRows, p.PackedRows, p.PackedBytes = switchres.ExactTable(ps, 0)
+	p.CompileSec = time.Since(t0).Seconds()
+
+	sc := SimConfig{
+		Topo:      tc,
+		Routing:   UCMP,
+		Transport: transport.DCTCP,
+		Alpha:     0.5,
+		Horizon:   horizon,
+		Seed:      seed,
+	}
+	var flows []*netsim.Flow
+	for tor := 0; tor < n; tor++ {
+		src := tor * tc.HostsPerToR
+		dst := ((tor + 1) % n) * tc.HostsPerToR
+		flows = append(flows, netsim.NewFlow(int64(tor+1), src, dst, flowSize, 0))
+	}
+	sc.Flows = flows
+	p.Flows = len(flows)
+
+	t0 = time.Now()
+	res, err := Run(sc)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	p.SimSec = time.Since(t0).Seconds()
+	p.Events = res.Events
+	if p.SimSec > 0 {
+		p.EventsPerSec = float64(res.Events) / p.SimSec
+	}
+	for _, f := range res.Flows {
+		if f.Finished {
+			p.Finished++
+		}
+	}
+	p.PeakHeapBytes, p.PeakSysBytes = sampler.halt()
+	return p, nil
+}
+
+// BenchLines renders the sweep points in `go test -bench` result format, so
+// cmd/benchjson folds them into the tracked results/BENCH_*.json records
+// alongside the hot-path benchmarks (custom columns land in "metrics").
+func BenchLines(points []ScalePoint) []string {
+	var out []string
+	for _, p := range points {
+		total := p.BuildSec + p.CompileSec + p.SimSec
+		sym := 0
+		if p.Symmetric {
+			sym = 1
+		}
+		dedup := 0.0
+		if p.CanonRows > 0 {
+			dedup = float64(p.CanonUnique) / float64(p.CanonRows)
+		}
+		out = append(out, fmt.Sprintf(
+			"BenchmarkScaleSweep/N=%d 1 %d ns/op %.3f build-s %.3f compile-s %.3f sim-s %.1f peak-heap-MB %.1f peak-sys-MB %.0f events/s %d packed-rows %d naive-rows %d sym %.4f canon-dedup",
+			p.N, int64(total*1e9), p.BuildSec, p.CompileSec, p.SimSec,
+			float64(p.PeakHeapBytes)/(1<<20), float64(p.PeakSysBytes)/(1<<20),
+			p.EventsPerSec, p.PackedRows, p.NaiveRows, sym, dedup))
+	}
+	return out
+}

@@ -74,6 +74,13 @@ type SimConfig struct {
 	// keeps the default (4). 1 ablates ECMP-style tie spreading.
 	MaxParallel int
 
+	// UseTables routes UCMP traffic through lazily compiled per-ToR
+	// source-routing tables (§6.2) instead of direct group lookups. Plans
+	// are bit-identical; the knob exercises the switch-SRAM artifact end to
+	// end and bounds memory via the table cache. Ignored for non-UCMP
+	// routing.
+	UseTables bool
+
 	// CongestionAware enables the §10 extension: online assignment steers
 	// around congested calendar queues within one bucket of slack.
 	CongestionAware bool
@@ -224,6 +231,9 @@ func Run(cfg SimConfig) (*Result, error) {
 		ps := core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
 		ucmpRouter = routing.NewUCMP(ps)
 		ucmpRouter.Relax = cfg.Relax
+		if cfg.UseTables {
+			ucmpRouter.EnableTables(0)
+		}
 		switch cfg.PinPolicy {
 		case "":
 		case "min-latency":

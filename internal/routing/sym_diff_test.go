@@ -1,0 +1,129 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/topo"
+)
+
+func symDiffFabric(t *testing.T, n, d int) *topo.Fabric {
+	t.Helper()
+	cfg := topo.Scaled()
+	cfg.NumToRs, cfg.Uplinks = n, d
+	f := topo.MustFabric(cfg, "round-robin", 1)
+	if !f.Sched.Rotation() {
+		t.Fatalf("RoundRobin(%d,%d) not rotation-symmetric", n, d)
+	}
+	return f
+}
+
+// TestCompiledTableBytesSymmetricVsBrute: for every ToR of the small
+// symmetric fabrics, the table compiled from the canonical O(S·N) build
+// serializes byte-identically to the one compiled from the brute-force
+// O(S·N²) build, across both bucket configurations (parallel-path cap 1,
+// which narrows entries to single paths, and the default cap 4).
+func TestCompiledTableBytesSymmetricVsBrute(t *testing.T) {
+	for _, nd := range [][2]int{{8, 4}, {16, 4}} {
+		for _, mp := range []int{1, 4} {
+			f := symDiffFabric(t, nd[0], nd[1])
+			sym := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp})
+			brute := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp, NoSymmetry: true})
+			if !sym.Symmetric() || brute.Symmetric() {
+				t.Fatalf("(%d,%d): build modes not as requested", nd[0], nd[1])
+			}
+			agerS, agerB := core.NewFlowAger(sym), core.NewFlowAger(brute)
+			if agerS.NumBuckets() != agerB.NumBuckets() {
+				t.Fatalf("(%d,%d) mp=%d: bucket counts differ: %d vs %d",
+					nd[0], nd[1], mp, agerS.NumBuckets(), agerB.NumBuckets())
+			}
+			for tor := 0; tor < f.NumToRs; tor++ {
+				ts := CompileTable(sym, agerS, tor)
+				tb := CompileTable(brute, agerB, tor)
+				if err := ts.Validate(sym); err != nil {
+					t.Fatalf("symmetric table tor %d: %v", tor, err)
+				}
+				if err := tb.Validate(brute); err != nil {
+					t.Fatalf("brute table tor %d: %v", tor, err)
+				}
+				if !bytes.Equal(ts.Bytes(), tb.Bytes()) {
+					t.Fatalf("(%d,%d) mp=%d tor %d: compiled tables differ "+
+						"(sym rows=%d hops=%d, brute rows=%d hops=%d)",
+						nd[0], nd[1], mp, tor, ts.NumRows(), len(ts.hops), tb.NumRows(), len(tb.hops))
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetricFastPathMatchesGroupPath: on a symmetric fabric the
+// canonical-group fast path, the materializing group path (NoSymmetry
+// reference), and the compiled-table path all plan identical hops for every
+// (tor, dst, tstart, bucket).
+func TestSymmetricFastPathMatchesGroupPath(t *testing.T) {
+	f := symDiffFabric(t, 16, 4)
+	sym := core.BuildPathSet(f, 0.5)
+	brute := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{NoSymmetry: true})
+	uSym := NewUCMP(sym)
+	uTbl := NewUCMP(sym).EnableTables(0)
+	uRef := NewUCMP(brute)
+	for tor := 0; tor < f.NumToRs; tor += 3 {
+		for dst := 0; dst < f.NumToRs; dst++ {
+			if dst == tor {
+				continue
+			}
+			for ts := 0; ts < f.Sched.S; ts++ {
+				for b := 0; b < uRef.Ager.NumBuckets(); b++ {
+					plan := func(u *UCMP) []int64 {
+						p := dataPacket(f, tor, dst, 1<<20)
+						p.Bucket = b
+						hops, ok := u.PlanRoute(p, tor, 0, int64(ts), nil)
+						if !ok {
+							t.Fatalf("plan failed %d->%d ts=%d b=%d", tor, dst, ts, b)
+						}
+						out := make([]int64, 0, 2*len(hops))
+						for _, h := range hops {
+							out = append(out, int64(h.To), h.AbsSlice)
+						}
+						return out
+					}
+					want := plan(uRef)
+					for name, u := range map[string]*UCMP{"fast": uSym, "table": uTbl} {
+						got := plan(u)
+						if len(got) != len(want) {
+							t.Fatalf("%s path differs %d->%d ts=%d b=%d: %v vs %v", name, tor, dst, ts, b, got, want)
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("%s path differs %d->%d ts=%d b=%d: %v vs %v", name, tor, dst, ts, b, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableSetEviction pins the FIFO bound: the cache never exceeds its cap
+// and re-requesting an evicted ToR recompiles an equivalent table.
+func TestTableSetEviction(t *testing.T) {
+	f := symDiffFabric(t, 16, 4)
+	ps := core.BuildPathSet(f, 0.5)
+	set := NewTableSet(ps, core.NewFlowAger(ps), 4)
+	first := set.For(0).Bytes()
+	for tor := 0; tor < 10; tor++ {
+		set.For(tor)
+		if c := set.Cached(); c > 4 {
+			t.Fatalf("cache holds %d tables, cap 4", c)
+		}
+	}
+	if set.Cached() != 4 {
+		t.Fatalf("cache holds %d tables after warm-up, want 4", set.Cached())
+	}
+	again := set.For(0)
+	if !bytes.Equal(again.Bytes(), first) {
+		t.Fatal("recompiled table differs from original")
+	}
+}

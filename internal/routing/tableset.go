@@ -1,0 +1,66 @@
+package routing
+
+import (
+	"sync"
+
+	"ucmp/internal/core"
+)
+
+// DefaultTableCap bounds how many per-ToR compiled tables a TableSet keeps
+// materialized at once. Compiling one table touches every (t_start, dst,
+// bucket) of its source ToR, so an unbounded cache at 1024 ToRs would
+// rebuild most of the N² spine the symmetric PathSet just eliminated; a
+// small bound keeps memory proportional to the ToRs actually originating
+// traffic in the window.
+const DefaultTableCap = 16
+
+// TableSet materializes per-ToR CompiledTables lazily, on first lookup from
+// each source ToR, evicting the oldest table beyond the cap. Safe for
+// concurrent use; a given ToR's table is compiled at most once while cached
+// and is immutable afterwards.
+type TableSet struct {
+	PS   *core.PathSet
+	Ager *core.FlowAger
+
+	mu     sync.Mutex
+	cap    int
+	tables map[int]*CompiledTable
+	order  []int // insertion order, for FIFO eviction
+}
+
+// NewTableSet builds an empty set; capTables <= 0 picks DefaultTableCap.
+func NewTableSet(ps *core.PathSet, ager *core.FlowAger, capTables int) *TableSet {
+	if capTables <= 0 {
+		capTables = DefaultTableCap
+	}
+	return &TableSet{
+		PS:     ps,
+		Ager:   ager,
+		cap:    capTables,
+		tables: make(map[int]*CompiledTable, capTables),
+	}
+}
+
+// For returns tor's compiled table, materializing it on first use.
+func (s *TableSet) For(tor int) *CompiledTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[tor]; ok {
+		return t
+	}
+	t := CompileTable(s.PS, s.Ager, tor)
+	if len(s.order) >= s.cap {
+		delete(s.tables, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.tables[tor] = t
+	s.order = append(s.order, tor)
+	return t
+}
+
+// Cached returns how many tables are currently materialized.
+func (s *TableSet) Cached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tables)
+}

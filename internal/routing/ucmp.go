@@ -42,6 +42,14 @@ type UCMP struct {
 	// netsim.Network.CalendarBacklog.
 	Backlog             func(tor int, hop netsim.PlannedHop) int
 	CongestionThreshold int
+
+	// Tables, when non-nil, serves steady-state route plans from compiled
+	// per-ToR source-routing tables (§6.2) materialized lazily on first use
+	// — the simulated analogue of looking up switch SRAM instead of
+	// consulting the path database. Plans are bit-identical to the group
+	// path; faults and congestion steering still take the group machinery.
+	// Set via EnableTables.
+	Tables *TableSet
 }
 
 // NewUCMP builds the router from an offline PathSet.
@@ -51,6 +59,14 @@ func NewUCMP(ps *core.PathSet) *UCMP {
 
 // Name implements netsim.Router.
 func (u *UCMP) Name() string { return "ucmp" }
+
+// EnableTables switches steady-state planning to compiled source-routing
+// tables, keeping at most capTables per-ToR tables materialized (<= 0 picks
+// the default). Returns u for chaining.
+func (u *UCMP) EnableTables(capTables int) *UCMP {
+	u.Tables = NewTableSet(u.PS, u.Ager, capTables)
+	return u
+}
 
 // RotorFlow implements netsim.Router: with latency relaxation on, long
 // flows use the hop-by-hop machinery over 2-hop paths.
@@ -68,7 +84,6 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 		return nil, false
 	}
 	ts := u.PS.F.CyclicSlice(fromAbs)
-	g := u.PS.Group(ts, tor, dst)
 	var hash uint64
 	if p.Flow != nil {
 		hash = p.Flow.Hash
@@ -77,6 +92,23 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 	if u.ForceBucket >= 0 {
 		bucket = u.ForceBucket
 	}
+	// Steady state (no fault view, no congestion steering) has two
+	// allocation-free fast paths; both fall through to the general group
+	// machinery when they cannot answer.
+	if u.Health == nil && (u.Backlog == nil || u.CongestionThreshold <= 0) {
+		if u.Tables != nil {
+			if hops, ok := u.Tables.For(tor).LookupInto(dst, ts, clampBucket(bucket, u.Ager.NumBuckets()), hash, fromAbs, buf); ok {
+				p.RecoveredVia = netsim.RecoveryPrimary
+				return hops, true
+			}
+		} else if u.PS.Symmetric() {
+			if hops, ok := u.planSymmetric(tor, dst, ts, bucket, hash, fromAbs, buf); ok {
+				p.RecoveredVia = netsim.RecoveryPrimary
+				return hops, true
+			}
+		}
+	}
+	g := u.PS.Group(ts, tor, dst)
 	var ok func(*core.Path) bool
 	if u.Health != nil {
 		h := u.Health
@@ -105,6 +137,48 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 	}
 	p.RecoveredVia = class
 	return hopsFromPath(path, fromAbs, buf), true
+}
+
+// planSymmetric is the zero-alloc steady-state plan on a rotation-symmetric
+// PathSet: the canonical group for (t_start, Δ = dst-src mod N) is consulted
+// directly and its hops are relabeled inline — ToRs rotated by +tor, slices
+// (t_start-relative in canonical form) anchored at fromAbs — instead of
+// materializing a concrete Group. Entry and path selection are exactly
+// pickHealthy's healthy-fabric behavior, so plans are bit-identical to the
+// brute build's.
+func (u *UCMP) planSymmetric(tor, dst, ts, bucket int, hash uint64, fromAbs int64, buf []netsim.PlannedHop) ([]netsim.PlannedHop, bool) {
+	n := u.PS.F.Sched.N
+	delta := dst - tor
+	if delta < 0 {
+		delta += n
+	}
+	g := u.PS.CanonGroup(ts, delta)
+	paths := u.Ager.EntryForBucket(g, bucket).Paths
+	if len(paths) == 0 {
+		return nil, false
+	}
+	path := paths[hash%uint64(len(paths))]
+	for _, h := range path.Hops {
+		to := h.To + tor
+		if to >= n {
+			to -= n
+		}
+		buf = append(buf, netsim.PlannedHop{To: to, AbsSlice: h.Slice + fromAbs})
+	}
+	return buf, true
+}
+
+// clampBucket mirrors the router's out-of-range bucket tolerance (Group
+// EntryForAged clamps to the newest/oldest entry) for the table key space,
+// which only installs rows for in-range buckets.
+func clampBucket(b, numBuckets int) int {
+	if b < 0 {
+		return 0
+	}
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
 }
 
 // pickHealthy resolves the bucket to a path and its §5.3 recovery class. A

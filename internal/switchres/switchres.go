@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"ucmp/internal/core"
+	"ucmp/internal/routing"
 	"ucmp/internal/topo"
 )
 
@@ -34,6 +35,23 @@ type Usage struct {
 	SRAMPct         float64
 	AvgGroupBuckets float64
 	AvgPathHops     float64
+
+	// NaiveEntriesPerToR is the row count without bucket-range collapse:
+	// one entry per destination x starting slice x bucket, the layout a
+	// switch without range matching would install. EntriesPerToR is the
+	// collapsed count (adjacent buckets resolving to the same group entry
+	// share a row).
+	NaiveEntriesPerToR int
+
+	// Exact packed-layout numbers, filled by ComputeExact from a real
+	// compiled source-routing table (routing.CompiledTable): the collapsed
+	// row count, the SRAM footprint of the arena-packed layout with its
+	// content-deduped action and hop arrays, and the percentage of the
+	// Tofino2-class budget. Zero when only the sampled model ran.
+	PackedEntriesPerToR int
+	PackedSRAMBytes     int
+	PackedSRAMPct       float64
+	Exact               bool
 }
 
 // Sampling bounds the offline computation for large fabrics.
@@ -109,9 +127,35 @@ func Compute(f *topo.Fabric, alpha float64, s Sampling) Usage {
 		u.AvgPathHops = hopSum / float64(hopsN)
 	}
 	// One source-routing entry per destination × starting slice × group
-	// bucket (Fig 4).
+	// bucket (Fig 4); the naive layout installs every global bucket
+	// separately instead.
 	u.EntriesPerToR = int(float64(sched.N-1) * float64(sched.S) * u.AvgGroupBuckets)
+	u.NaiveEntriesPerToR = (sched.N - 1) * sched.S * u.Buckets
 	u.SRAMPct = float64(u.EntriesPerToR) * entryBytes(u.AvgPathHops) / TofinoSRAMBytes * 100
+	return u
+}
+
+// ExactTable reports the compiled-table footprint for one source ToR of an
+// already built PathSet: naive and collapsed row counts plus the packed
+// layout's SRAM bytes. On a rotation-symmetric schedule every ToR's table
+// is a relabeling of the same rows, so one ToR is the whole story.
+func ExactTable(ps *core.PathSet, tor int) (naive, packed, sramBytes int) {
+	tbl := routing.CompileTable(ps, core.NewFlowAger(ps), tor)
+	return tbl.NumNaiveRows(), tbl.NumRows(), tbl.FootprintBytes()
+}
+
+// ComputeExact is Compute with the packed columns filled from a real
+// compiled table. The PathSet build is cheap on rotation-symmetric
+// schedules (the canonical O(S·N) build); on others this costs the full
+// brute-force build and should only be asked of small fabrics.
+func ComputeExact(f *topo.Fabric, alpha float64, s Sampling) Usage {
+	u := Compute(f, alpha, s)
+	ps := core.BuildPathSet(f, alpha)
+	ager := core.NewFlowAger(ps)
+	u.Buckets = ager.NumBuckets() // exact union, not the sampled one
+	u.NaiveEntriesPerToR, u.PackedEntriesPerToR, u.PackedSRAMBytes = ExactTable(ps, 0)
+	u.PackedSRAMPct = float64(u.PackedSRAMBytes) / TofinoSRAMBytes * 100
+	u.Exact = true
 	return u
 }
 

@@ -59,6 +59,40 @@ func computeFor(t *testing.T, n, d int) Usage {
 	return Compute(fab, 0.5, Sampling{TStarts: 2, Srcs: 4})
 }
 
+// TestComputeExactSymmetric: on a rotation-symmetric fabric the exact
+// compiled-table columns are filled, collapse never grows the table, and the
+// packed footprint stays within the naive model's estimate.
+func TestComputeExactSymmetric(t *testing.T) {
+	cfg := topo.Scaled()
+	cfg.NumToRs, cfg.Uplinks = 64, 4
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	if !fab.Sched.Rotation() {
+		t.Fatal("(64,4) should be rotation-symmetric")
+	}
+	u := ComputeExact(fab, 0.5, Sampling{})
+	if !u.Exact {
+		t.Fatal("ComputeExact did not fill exact columns")
+	}
+	if u.NaiveEntriesPerToR != (fab.Sched.N-1)*fab.Sched.S*u.Buckets {
+		t.Fatalf("naive entries %d, want %d", u.NaiveEntriesPerToR, (fab.Sched.N-1)*fab.Sched.S*u.Buckets)
+	}
+	if u.PackedEntriesPerToR <= 0 || u.PackedEntriesPerToR > u.NaiveEntriesPerToR {
+		t.Fatalf("packed entries %d outside (0, %d]", u.PackedEntriesPerToR, u.NaiveEntriesPerToR)
+	}
+	// Each group needs at least one row per starting slice and destination.
+	if min := (fab.Sched.N - 1) * fab.Sched.S; u.PackedEntriesPerToR < min {
+		t.Fatalf("packed entries %d below the %d-row floor", u.PackedEntriesPerToR, min)
+	}
+	if u.PackedSRAMBytes <= 0 || u.PackedSRAMPct <= 0 {
+		t.Fatalf("packed SRAM not filled: %d bytes, %.3f%%", u.PackedSRAMBytes, u.PackedSRAMPct)
+	}
+	// The packed layout with hop dedup must not exceed the per-entry model
+	// applied to the naive count.
+	if model := float64(u.NaiveEntriesPerToR) * entryBytes(u.AvgPathHops); float64(u.PackedSRAMBytes) > model {
+		t.Fatalf("packed bytes %d exceed naive model %.0f", u.PackedSRAMBytes, model)
+	}
+}
+
 func TestSamplingBounds(t *testing.T) {
 	cfg := topo.Scaled()
 	fab := topo.MustFabric(cfg, "round-robin", 1)

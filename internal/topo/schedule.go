@@ -27,6 +27,17 @@ type Schedule struct {
 	// when the schedule is too large for the memory budget, in which case
 	// NextDirect binary-searches the sorted per-pair direct list instead.
 	next []int32
+
+	// rotSym records the verified rotation-symmetry witness (see
+	// symmetry.go). When true, direct/next stay nil and the Δ-indexed
+	// tables below serve the same lookups in O(S·N) memory instead of
+	// O(S·N²): class δ row deltaDirect[δ] lists the cyclic slices in which
+	// every pair (i, (i+δ) mod N) has a direct circuit, and deltaNext is
+	// its densified next-direct table (deltaNext[δ*S+s], same wrapped
+	// semantics as next).
+	rotSym      bool
+	deltaDirect [][]int32
+	deltaNext   []int32
 }
 
 // maxDenseNextEntries caps the dense next-direct table at 32 MB (4 bytes per
@@ -40,7 +51,16 @@ const maxDenseNextEntries = 1 << 23
 // reconfigures at every slice boundary. If d does not divide N-1, the final
 // slice is padded with matchings from the start of the factorization, so
 // every slice graph is d-regular.
+//
+// When N is a power of two and d is even, the matchings come from the
+// rotation-symmetric difference-class construction (symmetry.go) instead of
+// the circle method: same slice count, same d-regular slices, but every
+// slice graph is invariant under ToR rotation, which the offline path build
+// exploits to dedupe groups across (src, dst) pairs.
 func RoundRobin(n, d int) *Schedule {
+	if rotationSymmetricRR(n, d) {
+		return symmetricRoundRobin(n, d)
+	}
 	rounds := ExpanderFactorization(n)
 	s := (len(rounds) + d - 1) / d
 	sched := &Schedule{N: n, D: d, S: s, Kind: "round-robin"}
@@ -99,7 +119,9 @@ func Opera(n, d int) *Schedule {
 }
 
 // build fills the slice tables from a matching generator and reconfiguration
-// predicate, then indexes direct circuits per pair.
+// predicate, verifies the rotation-symmetry witness, and indexes direct
+// circuits — per difference class when the witness holds, per pair
+// otherwise.
 func (s *Schedule) build(mat func(slice, sw int) Matching, rec func(slice, sw int) bool) {
 	s.slices = make([][]Matching, s.S)
 	s.reconf = make([][]bool, s.S)
@@ -111,6 +133,17 @@ func (s *Schedule) build(mat func(slice, sw int) Matching, rec func(slice, sw in
 			s.reconf[sl][sw] = rec(sl, sw)
 		}
 	}
+	if s.verifyRotation() {
+		s.rotSym = true
+		s.buildDeltaTables()
+		return
+	}
+	s.buildPairTables()
+}
+
+// buildPairTables indexes direct circuits per (i, j) pair and densifies the
+// lists into the next-direct lookup table.
+func (s *Schedule) buildPairTables() {
 	s.direct = make([][]int32, s.N*s.N)
 	for sl := 0; sl < s.S; sl++ {
 		for sw := 0; sw < s.D; sw++ {
@@ -140,24 +173,30 @@ func (s *Schedule) buildNextTable() {
 	}
 	s.next = make([]int32, s.N*s.N*s.S)
 	for pair, ds := range s.direct {
-		row := s.next[pair*s.S : (pair+1)*s.S]
-		if len(ds) == 0 {
-			for i := range row {
-				row[i] = -1
-			}
-			continue
+		fillNextRow(s.next[pair*s.S:(pair+1)*s.S], ds, s.S)
+	}
+}
+
+// fillNextRow fills one next-direct row from a sorted direct-slice list:
+// row[sl] is the earliest entry >= sl, wrapped past the cycle (value in
+// [sl, sl+cycle)), or -1 throughout for an empty list.
+func fillNextRow(row []int32, ds []int32, cycle int) {
+	if len(ds) == 0 {
+		for i := range row {
+			row[i] = -1
 		}
-		// p tracks the smallest index with ds[p] >= sl while sl descends.
-		p := len(ds)
-		for sl := s.S - 1; sl >= 0; sl-- {
-			for p > 0 && ds[p-1] >= int32(sl) {
-				p--
-			}
-			if p < len(ds) {
-				row[sl] = ds[p]
-			} else {
-				row[sl] = ds[0] + int32(s.S)
-			}
+		return
+	}
+	// p tracks the smallest index with ds[p] >= sl while sl descends.
+	p := len(ds)
+	for sl := cycle - 1; sl >= 0; sl-- {
+		for p > 0 && ds[p-1] >= int32(sl) {
+			p--
+		}
+		if p < len(ds) {
+			row[sl] = ds[p]
+		} else {
+			row[sl] = ds[0] + int32(cycle)
 		}
 	}
 }
@@ -206,7 +245,14 @@ func (s *Schedule) SwitchFor(slice, tor, peer int) int {
 
 // DirectSlices returns the cyclic slices during which ToRs a and b have a
 // direct circuit. The returned slice is shared; callers must not modify it.
-func (s *Schedule) DirectSlices(a, b int) []int32 { return s.direct[a*s.N+b] }
+// Rotation-symmetric schedules serve it from the Δ-indexed class table: the
+// answer depends only on (b-a) mod N.
+func (s *Schedule) DirectSlices(a, b int) []int32 {
+	if s.rotSym {
+		return s.deltaDirect[(b-a+s.N)%s.N]
+	}
+	return s.direct[a*s.N+b]
+}
 
 // NextDirect returns the earliest absolute slice >= from in which a and b
 // have a direct circuit. Every pair is connected at least once per cycle for
@@ -216,6 +262,13 @@ func (s *Schedule) DirectSlices(a, b int) []int32 { return s.direct[a*s.N+b] }
 func (s *Schedule) NextDirect(a, b int, from int64) int64 {
 	cyc := from % int64(s.S)
 	base := from - cyc
+	if s.deltaNext != nil {
+		nx := s.deltaNext[((b-a+s.N)%s.N)*s.S+int(cyc)]
+		if nx < 0 {
+			panic(fmt.Sprintf("topo: pair (%d,%d) never connected", a, b))
+		}
+		return base + int64(nx)
+	}
 	if s.next != nil {
 		nx := s.next[(a*s.N+b)*s.S+int(cyc)]
 		if nx < 0 {
@@ -223,7 +276,7 @@ func (s *Schedule) NextDirect(a, b int, from int64) int64 {
 		}
 		return base + int64(nx)
 	}
-	ds := s.direct[a*s.N+b]
+	ds := s.DirectSlices(a, b)
 	if len(ds) == 0 {
 		panic(fmt.Sprintf("topo: pair (%d,%d) never connected", a, b))
 	}
@@ -256,6 +309,11 @@ func (s *Schedule) DenseNext() []int32 { return s.next }
 // wrapped next slice, so the wait is a single subtraction.
 func (s *Schedule) WaitSlices(a, b int, from int64) int64 {
 	cyc := from % int64(s.S)
+	if s.deltaNext != nil {
+		if nx := s.deltaNext[((b-a+s.N)%s.N)*s.S+int(cyc)]; nx >= 0 {
+			return int64(nx) - cyc
+		}
+	}
 	if s.next != nil {
 		if nx := s.next[(a*s.N+b)*s.S+int(cyc)]; nx >= 0 {
 			return int64(nx) - cyc

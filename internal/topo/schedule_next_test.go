@@ -6,7 +6,7 @@ import "testing"
 // reference implementation the dense-table and binary-search paths are
 // verified against.
 func (s *Schedule) nextDirectLinear(a, b int, from int64) int64 {
-	ds := s.direct[a*s.N+b]
+	ds := s.DirectSlices(a, b)
 	if len(ds) == 0 {
 		panic("topo: pair never connected")
 	}
@@ -21,11 +21,13 @@ func (s *Schedule) nextDirectLinear(a, b int, from int64) int64 {
 }
 
 // withoutDenseTable returns a shallow copy of the schedule with the dense
-// next-direct table dropped, forcing NextDirect onto its binary-search
-// fallback (the path taken by fabrics past the table's memory budget).
+// next-direct tables (pair-indexed and Δ-indexed) dropped, forcing
+// NextDirect onto its binary-search fallback (the path taken by fabrics
+// past the table's memory budget).
 func withoutDenseTable(s *Schedule) *Schedule {
 	c := *s
 	c.next = nil
+	c.deltaNext = nil
 	return &c
 }
 

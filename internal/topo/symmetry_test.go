@@ -1,0 +1,160 @@
+package topo
+
+import "testing"
+
+// rotationClosureRef is a brute-force reference for the witness: every edge
+// of every slice, rotated by +1, must reappear somewhere in the same slice.
+func rotationClosureRef(s *Schedule) bool {
+	for sl := 0; sl < s.S; sl++ {
+		present := make(map[[2]int]bool)
+		for sw := 0; sw < s.D; sw++ {
+			m := s.slices[sl][sw]
+			for i, j := range m {
+				present[[2]int{i, j}] = true
+			}
+		}
+		for e := range present {
+			r := [2]int{(e[0] + 1) % s.N, (e[1] + 1) % s.N}
+			if !present[r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRoundRobinRotationGrid: RoundRobin verifies rotation-symmetric exactly
+// on the power-of-two/even-d grid, including non-dividing (n, d) pairs, and
+// the slice count matches the padded circle-method formula everywhere.
+func TestRoundRobinRotationGrid(t *testing.T) {
+	cases := []struct {
+		n, d int
+		sym  bool
+	}{
+		{8, 4, true}, {8, 6, true}, {16, 4, true}, {16, 6, true},
+		{32, 4, true}, {32, 6, true}, {64, 4, true}, {128, 8, true},
+		{256, 12, true},
+		// Odd d, d = 2, or non-power-of-two n fall back to the circle
+		// method (d = 2 symmetric slices would be disconnected).
+		{8, 2, false}, {8, 3, false}, {16, 2, false}, {16, 3, false},
+		{16, 5, false}, {10, 2, false}, {12, 4, false}, {108, 6, false},
+		{20, 6, false},
+	}
+	for _, c := range cases {
+		s := RoundRobin(c.n, c.d)
+		if s.Rotation() != c.sym {
+			t.Errorf("RoundRobin(%d,%d).Rotation() = %v, want %v", c.n, c.d, s.Rotation(), c.sym)
+		}
+		if got := rotationClosureRef(s); got != s.Rotation() {
+			t.Errorf("RoundRobin(%d,%d): witness %v disagrees with reference %v",
+				c.n, c.d, s.Rotation(), got)
+		}
+		wantS := (c.n - 1 + c.d - 1) / c.d
+		if s.S != wantS {
+			t.Errorf("RoundRobin(%d,%d).S = %d, want %d", c.n, c.d, s.S, wantS)
+		}
+		// Schedule invariants hold regardless of construction: valid
+		// matchings, every pair connected each cycle.
+		for sl := 0; sl < s.S; sl++ {
+			for sw := 0; sw < s.D; sw++ {
+				if err := s.MatchingAt(sl, sw).Validate(); err != nil {
+					t.Fatalf("RoundRobin(%d,%d) slice %d switch %d: %v", c.n, c.d, sl, sw, err)
+				}
+			}
+		}
+		for i := 0; i < c.n; i++ {
+			for j := 0; j < c.n; j++ {
+				if i != j && len(s.DirectSlices(i, j)) == 0 {
+					t.Fatalf("RoundRobin(%d,%d): pair (%d,%d) never connected", c.n, c.d, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRotationFalseForOtherKinds: the witness is verified, not keyed on the
+// generator — Random and Opera stay false even on power-of-two fabrics.
+func TestRotationFalseForOtherKinds(t *testing.T) {
+	if s := Random(16, 4, 42); s.Rotation() {
+		t.Error("Random(16,4) verified rotation-symmetric")
+	}
+	if s := Opera(16, 4); s.Rotation() {
+		t.Error("Opera(16,4) verified rotation-symmetric")
+	}
+}
+
+// TestSwappedMatchingBreaksWitness: exchanging one matching between two
+// slices of a symmetric schedule leaves both slices with partial difference
+// classes, so re-verification must fail.
+func TestSwappedMatchingBreaksWitness(t *testing.T) {
+	s := RoundRobin(16, 4)
+	if !s.Rotation() {
+		t.Fatal("RoundRobin(16,4) should verify rotation-symmetric")
+	}
+	if !s.verifyRotation() {
+		t.Fatal("re-verification of the untouched schedule failed")
+	}
+	// Swap switch 0's matching of slice 0 with switch 1's of slice 1. The
+	// two halves of a difference class now live in different slices.
+	s.slices[0][0], s.slices[1][1] = s.slices[1][1], s.slices[0][0]
+	if s.verifyRotation() {
+		t.Fatal("witness survived a cross-slice matching swap")
+	}
+}
+
+// TestDeltaTablesMatchPairSemantics: the Δ-indexed lookups of a symmetric
+// schedule agree with a pair-indexed rebuild of the same matchings.
+func TestDeltaTablesMatchPairSemantics(t *testing.T) {
+	s := RoundRobin(32, 4)
+	if !s.Rotation() || s.DeltaNext() == nil || s.DenseNext() != nil {
+		t.Fatalf("RoundRobin(32,4): Rotation=%v deltaNext=%v denseNext=%v",
+			s.Rotation(), s.DeltaNext() != nil, s.DenseNext() != nil)
+	}
+	// Rebuild pair tables from the same matchings.
+	ref := &Schedule{N: s.N, D: s.D, S: s.S, Kind: s.Kind}
+	ref.build(func(sl, sw int) Matching { return s.slices[sl][sw] },
+		func(sl, sw int) bool { return s.reconf[sl][sw] })
+	ref.rotSym, ref.deltaDirect, ref.deltaNext = false, nil, nil
+	ref.buildPairTables()
+	for a := 0; a < s.N; a++ {
+		for b := 0; b < s.N; b++ {
+			if a == b {
+				continue
+			}
+			got, want := s.DirectSlices(a, b), ref.direct[a*s.N+b]
+			if len(got) != len(want) {
+				t.Fatalf("DirectSlices(%d,%d) = %v, want %v", a, b, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("DirectSlices(%d,%d) = %v, want %v", a, b, got, want)
+				}
+			}
+			for from := int64(0); from < int64(2*s.S); from++ {
+				if g, w := s.NextDirect(a, b, from), ref.NextDirect(a, b, from); g != w {
+					t.Fatalf("NextDirect(%d,%d,%d) = %d, want %d", a, b, from, g, w)
+				}
+				if g, w := s.WaitSlices(a, b, from), ref.WaitSlices(a, b, from); g != w {
+					t.Fatalf("WaitSlices(%d,%d,%d) = %d, want %d", a, b, from, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetricSlicesConnected: with d >= 4 the odd-class dealing guarantees
+// every slice graph of the symmetric construction is connected, which keeps
+// the Appendix-B h_static diameters meaningful at scale.
+func TestSymmetricSlicesConnected(t *testing.T) {
+	for _, nd := range [][2]int{{16, 4}, {64, 4}, {128, 8}, {256, 8}, {1024, 8}} {
+		s := RoundRobin(nd[0], nd[1])
+		if !s.Rotation() {
+			t.Fatalf("RoundRobin(%d,%d) not symmetric", nd[0], nd[1])
+		}
+		for sl := 0; sl < s.S; sl++ {
+			if d := s.SliceGraph(sl).Diameter(); d < 0 {
+				t.Fatalf("RoundRobin(%d,%d): slice %d graph disconnected", nd[0], nd[1], sl)
+			}
+		}
+	}
+}
