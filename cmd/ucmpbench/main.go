@@ -200,6 +200,9 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", e, wall)
 			}
+			for _, note := range harness.TakeShardNotes() {
+				fmt.Fprintf(os.Stderr, "(%s shards: %s)\n", e, note)
+			}
 			if *schedF {
 				s := harness.TakeSchedStats()
 				fmt.Fprintf(os.Stderr, "(%s sched: pending-hwm %d, cascades %d, overflow %d, cancels %d, dead-pops %d, chases %d)\n",

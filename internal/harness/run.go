@@ -80,10 +80,21 @@ type SimConfig struct {
 	// end and bounds memory via the table cache. Ignored for non-UCMP
 	// routing.
 	UseTables bool
+	// TableCacheCap bounds how many per-ToR tables the UseTables cache
+	// keeps materialized at once (FIFO eviction). 0 keeps the default
+	// (routing.DefaultTableCap); negative values are rejected. Ignored
+	// unless UseTables is set.
+	TableCacheCap int
 
 	// CongestionAware enables the §10 extension: online assignment steers
-	// around congested calendar queues within one bucket of slack.
+	// around congested calendar queues within one bucket of slack, reading
+	// the slice-boundary backlog board (DESIGN.md §14).
 	CongestionAware bool
+	// CongestionThreshold overrides the backlog (data packets parked in the
+	// target calendar queue, as of the last slice boundary) at which
+	// steering engages. 0 keeps the default of 32; negative values are
+	// rejected. Ignored unless CongestionAware is set.
+	CongestionThreshold int
 	// Hotspot skews that probability mass of flows onto a few hot hosts.
 	Hotspot float64
 
@@ -109,34 +120,35 @@ type SimConfig struct {
 	// values are rejected; values above the ToR count are clamped to it
 	// (domains cannot outnumber ToRs) with the clamp recorded in
 	// Result.ShardNote. Configurations Shardable rejects fall back to the
-	// serial engine silently; Result.Sharded and Result.Shards report which
-	// engine ran and how wide. 0 or 1 selects the serial engine.
+	// serial engine with the rejection recorded in Result.ShardNote;
+	// Result.Sharded and Result.Shards report which engine ran and how
+	// wide. 0 or 1 selects the serial engine.
 	Shards int
 }
 
 // Shardable reports whether a configuration can run on the sharded engine,
-// or an error naming the first obstacle. UCMP latency relaxation and
-// congestion-aware assignment consult fabric-wide backlog synchronously —
-// zero-lookahead cross-domain reads the bulk-synchronous windows cannot
-// order deterministically. Rotor-class traffic (VLB routing, Opera's
-// rotor fallback, the rotor transport) shards via the slice-boundary
-// backlog exchange (DESIGN.md §12), which requires slices at least one
-// lookahead window long — true of every realistic fabric (microsecond
-// slices vs sub-microsecond lookahead) but checked here for pathological
+// or an error naming the first obstacle. UCMP latency relaxation consults
+// fabric-wide backlog synchronously — a zero-lookahead cross-domain read the
+// bulk-synchronous windows cannot order deterministically. Traffic that
+// exchanges state at slice boundaries instead — rotor-class traffic (VLB
+// routing, Opera's rotor fallback, the rotor transport) via the backlog
+// exchange of DESIGN.md §12, and congestion-aware UCMP via the boundary
+// backlog board of DESIGN.md §14 — shards, but requires slices at least one
+// lookahead window long so no boundary write shares an engine window with a
+// read. That holds for every realistic fabric (microsecond slices vs
+// sub-microsecond lookahead) but is checked here for pathological
 // configurations.
 func Shardable(cfg SimConfig) error {
-	switch {
-	case cfg.Relax:
+	if cfg.Relax {
 		return fmt.Errorf("harness: UCMP latency relaxation is not shardable")
-	case cfg.CongestionAware:
-		return fmt.Errorf("harness: congestion-aware assignment reads remote backlog and is not shardable")
 	}
-	rotorClass := cfg.Routing == VLB || cfg.Routing == Opera1 || cfg.Routing == Opera5 ||
-		cfg.Transport == transport.Rotor
-	if rotorClass && cfg.Topo.LinkBps > 0 {
+	boundaryClass := cfg.Routing == VLB || cfg.Routing == Opera1 || cfg.Routing == Opera5 ||
+		cfg.Transport == transport.Rotor ||
+		(cfg.CongestionAware && cfg.Routing == UCMP)
+	if boundaryClass && cfg.Topo.LinkBps > 0 {
 		la := cfg.Topo.PropDelay + cfg.Topo.UplinkSerialization(netsim.HeaderBytes)
 		if cfg.Topo.SliceDuration < la {
-			return fmt.Errorf("harness: slice duration %v below the %v lookahead; the rotor backlog exchange cannot shard",
+			return fmt.Errorf("harness: slice duration %v below the %v lookahead; the slice-boundary exchange cannot shard",
 				cfg.Topo.SliceDuration, la)
 		}
 	}
@@ -207,13 +219,27 @@ func Run(cfg SimConfig) (*Result, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("harness: Shards=%d is negative", cfg.Shards)
 	}
+	if cfg.TableCacheCap < 0 {
+		return nil, fmt.Errorf("harness: TableCacheCap=%d is negative", cfg.TableCacheCap)
+	}
+	if cfg.CongestionThreshold < 0 {
+		return nil, fmt.Errorf("harness: CongestionThreshold=%d is negative", cfg.CongestionThreshold)
+	}
 	shards := cfg.Shards
 	var shardNote string
 	if shards > fab.NumToRs {
 		shardNote = fmt.Sprintf("Shards=%d clamped to the %d-ToR domain count", cfg.Shards, fab.NumToRs)
 		shards = fab.NumToRs
 	}
-	sharded := shards > 1 && Shardable(cfg) == nil
+	sharded := false
+	if shards > 1 {
+		if err := Shardable(cfg); err != nil {
+			shardNote = fmt.Sprintf("serial fallback: %v", err)
+			recordShardNote(shardNote)
+		} else {
+			sharded = true
+		}
+	}
 	var eng *sim.Engine
 	var sh *sim.ShardedEngine
 	if sharded {
@@ -221,7 +247,6 @@ func Run(cfg SimConfig) (*Result, error) {
 	} else {
 		eng = sim.NewEngineQueue(cfg.Queue)
 		shards = 1
-		shardNote = ""
 	}
 
 	var router netsim.Router
@@ -232,7 +257,7 @@ func Run(cfg SimConfig) (*Result, error) {
 		ucmpRouter = routing.NewUCMP(ps)
 		ucmpRouter.Relax = cfg.Relax
 		if cfg.UseTables {
-			ucmpRouter.EnableTables(0)
+			ucmpRouter.EnableTables(cfg.TableCacheCap)
 		}
 		switch cfg.PinPolicy {
 		case "":
@@ -267,8 +292,12 @@ func Run(cfg SimConfig) (*Result, error) {
 	}
 
 	if ucmpRouter != nil && cfg.CongestionAware {
-		ucmpRouter.Backlog = net.CalendarBacklog
-		ucmpRouter.CongestionThreshold = 32
+		net.EnableCongestionBoard()
+		ucmpRouter.Backlog = net.CongestionBacklog
+		ucmpRouter.CongestionThreshold = cfg.CongestionThreshold
+		if ucmpRouter.CongestionThreshold == 0 {
+			ucmpRouter.CongestionThreshold = 32
+		}
 	}
 	if ucmpRouter != nil {
 		if cfg.AccurateFlowSize {

@@ -12,9 +12,10 @@ import (
 var CollectSchedStats = false
 
 var (
-	schedMu  sync.Mutex
-	schedAgg sim.SchedStats
-	shardAgg sim.ShardStats
+	schedMu    sync.Mutex
+	schedAgg   sim.SchedStats
+	shardAgg   sim.ShardStats
+	shardNotes []string
 )
 
 // recordSchedStats folds one run's scheduler internals into the aggregate:
@@ -62,6 +63,33 @@ func TakeSchedStats() sim.SchedStats {
 	schedAgg = sim.SchedStats{}
 	schedMu.Unlock()
 	return s
+}
+
+// recordShardNote remembers a serial-fallback reason so CLI callers can
+// surface it (Result.ShardNote is per-run; exhibits aggregate many runs).
+// Unlike the stats above it is not gated on CollectSchedStats: a sharded
+// run silently degrading to serial is something the caller asked for and
+// didn't get. Duplicate reasons collapse to one note.
+func recordShardNote(note string) {
+	schedMu.Lock()
+	for _, n := range shardNotes {
+		if n == note {
+			schedMu.Unlock()
+			return
+		}
+	}
+	shardNotes = append(shardNotes, note)
+	schedMu.Unlock()
+}
+
+// TakeShardNotes returns the distinct serial-fallback notes recorded since
+// the previous call and resets the list.
+func TakeShardNotes() []string {
+	schedMu.Lock()
+	notes := shardNotes
+	shardNotes = nil
+	schedMu.Unlock()
+	return notes
 }
 
 // TakeShardStats returns the sharded-engine counters aggregated since the

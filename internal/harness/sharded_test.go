@@ -237,16 +237,20 @@ func TestDifferentialLazyTables(t *testing.T) {
 }
 
 // TestShardableGate pins both sides of the gate: the rotor-class baselines
-// (VLB, Opera, RotorLB transport) now pass it whenever the slice duration
-// covers the lookahead window, while latency relaxation, congestion-aware
-// stamping, and a pathologically short slice are still refused — Run falls
-// back to serial for those and reports it.
+// (VLB, Opera, RotorLB transport) and congestion-aware UCMP (on the
+// slice-boundary backlog board, §14) pass it whenever the slice duration
+// covers the lookahead window, while latency relaxation and a
+// pathologically short slice are still refused — Run falls back to serial
+// for those and records why in Result.ShardNote.
 func TestShardableGate(t *testing.T) {
+	congestion := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	congestion.CongestionAware = true
 	good := []SimConfig{
 		ScaledConfig(UCMP, transport.DCTCP, "websearch"),
 		ScaledConfig(VLB, transport.Rotor, "websearch"),
 		ScaledConfig(Opera1, transport.NDP, "websearch"),
 		ScaledConfig(Opera5, transport.NDP, "websearch"),
+		congestion,
 	}
 	for _, cfg := range good {
 		if err := Shardable(cfg); err != nil {
@@ -263,19 +267,19 @@ func TestShardableGate(t *testing.T) {
 		}
 	}
 
-	// A rotor-class config whose slice is shorter than the lookahead window
-	// would let the boundary backlog exchange race; the gate must refuse it.
+	// A config whose slice is shorter than the lookahead window would let a
+	// slice-boundary exchange race; the gate must refuse it for both
+	// boundary-exchange users (rotor traffic and the congestion board).
 	shortSlice := ScaledConfig(VLB, transport.Rotor, "websearch")
 	shortSlice.Topo.SliceDuration = shortSlice.Topo.PropDelay / 2
+	shortCongestion := ScaledConfig(UCMP, transport.DCTCP, "websearch")
+	shortCongestion.CongestionAware = true
+	shortCongestion.Topo.SliceDuration = shortCongestion.Topo.PropDelay / 2
 
 	bad := []SimConfig{
 		shortSlice,
+		shortCongestion,
 		func() SimConfig { c := ScaledConfig(UCMP, transport.DCTCP, "websearch"); c.Relax = true; return c }(),
-		func() SimConfig {
-			c := ScaledConfig(UCMP, transport.DCTCP, "websearch")
-			c.CongestionAware = true
-			return c
-		}(),
 	}
 	for _, cfg := range bad {
 		if err := Shardable(cfg); err == nil {
@@ -289,6 +293,9 @@ func TestShardableGate(t *testing.T) {
 		}
 		if res.Sharded {
 			t.Fatalf("unshardable config %v/%v ran sharded", cfg.Routing, cfg.Transport)
+		}
+		if res.ShardNote == "" {
+			t.Fatalf("serial fallback of %v/%v carries no ShardNote", cfg.Routing, cfg.Transport)
 		}
 	}
 }

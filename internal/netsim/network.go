@@ -84,6 +84,14 @@ type Counters struct {
 	RecoveryFailed      int64
 	FaultDrops          int64
 
+	// CongestionSteered counts data-packet route plans the §10
+	// congestion-aware extension steered off the primary path (the
+	// board-read backlog crossed the threshold and a less-congested
+	// candidate within one bucket of slack won). It is the engagement
+	// signal the congestion differential asserts on: a run where it stays
+	// zero never exercised the steering logic.
+	CongestionSteered int64
+
 	// RerouteWait is the time-to-reroute histogram: the delay between a
 	// data packet hitting a dead element (calendar expiry on a failed link
 	// or ToR) and its replacement circuit opening. Bucket 0 counts
@@ -121,8 +129,9 @@ type FaultState interface {
 // cross-ToR packet arrivals route through the engine's mailboxes. Rotor-
 // class flows (VLB/RotorLB) exchange backlog state only at slice
 // boundaries (the rotorSnap board below) and shard when slices are at
-// least one lookahead long; the congestion-aware extension reads peer
-// calendar queues synchronously and stays serial-only.
+// least one lookahead long; the congestion-aware extension rides the same
+// pattern via the calendar-backlog board (congboard.go) and shards under
+// the same slice-vs-lookahead condition.
 type Network struct {
 	Eng    *sim.Engine // serial engine; nil when sharded
 	F      *topo.Fabric
@@ -173,6 +182,13 @@ type Network struct {
 	// in serial and sharded runs. Four slots so the ring index is a mask;
 	// three would suffice for the race argument.
 	rotorSnap []int64
+
+	// congSnap is the slice-boundary calendar-backlog board for the §10
+	// congestion-aware extension, with the same write/read discipline as
+	// rotorSnap but one int32 per (tor, uplink, cyclic slice) instead of
+	// one int64 per ToR. Nil unless EnableCongestionBoard was called (see
+	// congboard.go).
+	congSnap []int32
 
 	// Memoized serialization delays for the two wire lengths that cover
 	// nearly all traffic (full MTU frames and bare control headers), so the
@@ -544,10 +560,12 @@ func (n *Network) TakeSample(prev *Sample) Sample {
 	return s
 }
 
-// CalendarBacklog reports the number of data packets already parked at a
-// ToR for the calendar queue a planned hop would use — the congestion
-// signal for the §10 congestion-aware UCMP extension. Unknown circuits
-// report a prohibitive backlog.
+// CalendarBacklog reports the number of data packets parked right now at a
+// ToR for the calendar queue a planned hop would use. This is the live
+// view; the §10 congestion-aware extension plans against the
+// slice-boundary snapshot (CongestionBacklog, congboard.go) instead, whose
+// stale-by-one-slice value is identical in serial and sharded runs. The
+// live read remains for diagnostics and for the board's unit tests.
 func (n *Network) CalendarBacklog(tor int, hop PlannedHop) int {
 	c := n.F.CyclicSlice(hop.AbsSlice)
 	sw := n.F.Sched.SwitchFor(c, tor, hop.To)

@@ -3,6 +3,7 @@ package routing
 import (
 	"ucmp/internal/core"
 	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
 )
 
 // Congestion-aware path assignment is the §10 "UCMP extension": like
@@ -13,53 +14,108 @@ import (
 // and steers the packet to the least-congested candidate whose uniform
 // cost stays within one bucket of the minimum.
 //
-// Enable it by setting UCMP.Backlog (usually Network.CalendarBacklog) and
-// a positive CongestionThreshold.
+// The backlog signal is the slice-boundary snapshot every ToR publishes at
+// the top of its boundary event (netsim.Network.CongestionBacklog): plans
+// made during slice s see the backlogs as of the boundary of slice s−1 —
+// stale by at most one slice, but a deterministic function of boundary
+// state, which is what lets congestion-aware runs ride the sharded engine
+// bit-identically to serial (DESIGN.md §14). During the first slice the
+// board is empty and steering never engages.
+//
+// Enable it by setting UCMP.Backlog (usually Network.CongestionBacklog,
+// with the network's board enabled) and a positive CongestionThreshold.
+
+// congScratch is the working set of one engaged congestion pick: the
+// candidate buffer and the per-(peer, slice) backlog memo. Scratches are
+// pooled on the UCMP router rather than stored as plain fields because
+// PlanRoute runs concurrently across lookahead domains in sharded runs;
+// the pool keeps the engaged pick allocation-free once warm, the same
+// discipline as the packet Route buffers PlanRoute appends into.
+type congScratch struct {
+	cands []*core.Path
+	memo  []backlogMemo
+}
+
+// backlogMemo caches one board read within a single pick: parallel paths
+// and hull-neighbor entries frequently share a first hop, and the memo
+// keeps each distinct (peer, absolute slice) to one Backlog call.
+type backlogMemo struct {
+	abs     int64
+	to      int
+	backlog int
+}
+
+// backlogOf resolves the board backlog of a candidate's first hop,
+// relabeling canonical-group hops by rot (see UCMP.PlanRoute) and
+// memoizing per (peer, slice) within the pick.
+func (s *congScratch) backlogOf(u *UCMP, tor, rot, n int, now sim.Time, fromAbs int64, p *core.Path) int {
+	h := p.Hops[0]
+	to := h.To + rot
+	if to >= n {
+		to -= n
+	}
+	abs := h.Slice + fromAbs - p.StartSlice
+	for i := range s.memo {
+		if m := &s.memo[i]; m.to == to && m.abs == abs {
+			return m.backlog
+		}
+	}
+	b := u.Backlog(tor, now, netsim.PlannedHop{To: to, AbsSlice: abs})
+	s.memo = append(s.memo, backlogMemo{abs: abs, to: to, backlog: b})
+	return b
+}
 
 // congestionCandidates gathers the paths eligible under the one-bucket
-// slack rule: the target entry's parallels plus its hull neighbors.
-func (u *UCMP) congestionCandidates(g *core.Group, bucket int) []*core.Path {
+// slack rule — the target entry's parallels plus its hull neighbors —
+// appending into buf (the pooled scratch) so an engaged pick allocates
+// nothing once the buffer has grown to the group's high-water mark.
+func (u *UCMP) congestionCandidates(g *core.Group, bucket int, buf []*core.Path) []*core.Path {
 	want := u.Ager.EntryForBucket(g, bucket)
-	cands := append([]*core.Path(nil), want.Paths...)
-	for _, delta := range []int{-1, 1} {
+	buf = append(buf, want.Paths...)
+	for _, delta := range [2]int{-1, 1} {
 		b := bucket + delta
 		if b < 0 {
 			continue
 		}
 		e := u.Ager.EntryForBucket(g, b)
 		if e != want {
-			cands = append(cands, e.Paths...)
+			buf = append(buf, e.Paths...)
 		}
 	}
-	return cands
+	return buf
 }
 
-// pickUncongested returns the candidate with the smallest first-hop
-// backlog, preferring the primary choice on ties. It only engages when the
-// primary's backlog exceeds the threshold; otherwise it returns nil and
-// the caller keeps the normal minimum-uniform-cost assignment.
-func (u *UCMP) pickUncongested(g *core.Group, bucket, tor int, fromAbs int64, hash uint64, ok func(*core.Path) bool) *core.Path {
+// pickUncongested returns the candidate with the smallest first-hop board
+// backlog, preferring the primary choice on ties, plus whether the pick
+// steered off the primary. It only engages when the primary's backlog
+// meets the threshold; otherwise it returns nil and the caller keeps the
+// normal minimum-uniform-cost assignment. g may be a canonical group (rot
+// = source ToR) or a concrete one (rot = 0); n is the ToR count.
+func (u *UCMP) pickUncongested(g *core.Group, bucket, tor, rot, n int, now sim.Time, fromAbs int64, hash uint64, ok func(*core.Path) bool) (*core.Path, bool) {
 	if u.Backlog == nil || u.CongestionThreshold <= 0 {
-		return nil
+		return nil, false
+	}
+	if len(g.Entries) == 0 || len(u.Ager.EntryForBucket(g, bucket).Paths) == 0 {
+		return nil, false
 	}
 	primary := u.Ager.PathForBucket(g, bucket, hash)
-	offset := fromAbs - int64(g.StartSlice)
-	backlogOf := func(p *core.Path) int {
-		h := p.Hops[0]
-		return u.Backlog(tor, netsim.PlannedHop{To: h.To, AbsSlice: h.Slice + offset})
-	}
-	if backlogOf(primary) < u.CongestionThreshold {
-		return nil
+	s := u.congPool.Get().(*congScratch)
+	s.memo = s.memo[:0]
+	bestBacklog := s.backlogOf(u, tor, rot, n, now, fromAbs, primary)
+	if bestBacklog < u.CongestionThreshold {
+		u.congPool.Put(s)
+		return nil, false
 	}
 	best := primary
-	bestBacklog := backlogOf(primary)
-	for _, p := range u.congestionCandidates(g, bucket) {
+	s.cands = u.congestionCandidates(g, bucket, s.cands[:0])
+	for _, p := range s.cands {
 		if ok != nil && !ok(p) {
 			continue
 		}
-		if b := backlogOf(p); b < bestBacklog {
+		if b := s.backlogOf(u, tor, rot, n, now, fromAbs, p); b < bestBacklog {
 			best, bestBacklog = p, b
 		}
 	}
-	return best
+	u.congPool.Put(s)
+	return best, best != primary
 }

@@ -1,0 +1,139 @@
+package routing
+
+import (
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+	"ucmp/internal/topo"
+)
+
+// symCongestionUCMP builds a congestion-aware router over a
+// rotation-symmetric fabric (16 ToRs, 4 uplinks) with a scripted board.
+func symCongestionUCMP(t testing.TB, backlog func(tor int, now sim.Time, hop netsim.PlannedHop) int) (*UCMP, *topo.Fabric) {
+	t.Helper()
+	cfg := topo.Scaled()
+	cfg.Uplinks = 4
+	f := topo.MustFabric(cfg, "round-robin", 1)
+	ps := core.BuildPathSet(f, 0.5)
+	if !ps.Symmetric() {
+		t.Fatal("16x4 round-robin PathSet is not rotation-symmetric")
+	}
+	u := NewUCMP(ps)
+	u.Backlog = backlog
+	u.CongestionThreshold = 1
+	return u, f
+}
+
+// evenCongested is a scripted board that congests every even-numbered peer:
+// picks whose primary first hop is even must engage, and steer whenever an
+// odd-first-hop candidate exists within one bucket of slack.
+func evenCongested(tor int, now sim.Time, hop netsim.PlannedHop) int {
+	if hop.To%2 == 0 {
+		return 64
+	}
+	return 0
+}
+
+// TestCongestionCanonicalMatchesBrute: the congestion pick on the
+// zero-alloc canonical-group path must plan exactly what the materializing
+// brute build plans for the same scripted board, for every (tor, dst,
+// slice, bucket) — relabel-on-emit may not change a single decision.
+func TestCongestionCanonicalMatchesBrute(t *testing.T) {
+	uSym, f := symCongestionUCMP(t, evenCongested)
+	brute := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{NoSymmetry: true})
+	uRef := NewUCMP(brute)
+	uRef.Backlog = evenCongested
+	uRef.CongestionThreshold = 1
+
+	steered := 0
+	for tor := 0; tor < f.NumToRs; tor += 3 {
+		for dst := 0; dst < f.NumToRs; dst++ {
+			if dst == tor {
+				continue
+			}
+			for ts := 0; ts < f.Sched.S; ts += 2 {
+				for b := 0; b < uRef.Ager.NumBuckets(); b++ {
+					plan := func(u *UCMP) ([]netsim.PlannedHop, netsim.RecoveryClass) {
+						p := dataPacket(f, tor, dst, 1<<20)
+						p.Bucket = b
+						hops, ok := u.PlanRoute(p, tor, 0, int64(ts), nil)
+						if !ok {
+							t.Fatalf("plan failed %d->%d ts=%d b=%d", tor, dst, ts, b)
+						}
+						return hops, p.RecoveredVia
+					}
+					want, wantClass := plan(uRef)
+					got, gotClass := plan(uSym)
+					if gotClass != wantClass {
+						t.Fatalf("%d->%d ts=%d b=%d: class %v vs brute %v", tor, dst, ts, b, gotClass, wantClass)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%d->%d ts=%d b=%d: %v vs brute %v", tor, dst, ts, b, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%d->%d ts=%d b=%d: %v vs brute %v", tor, dst, ts, b, got, want)
+						}
+					}
+					if gotClass == netsim.RecoverySteered {
+						steered++
+					}
+					validRoute(t, f, tor, dst, int64(ts), got)
+				}
+			}
+		}
+	}
+	if steered == 0 {
+		t.Fatal("scripted board never steered a pick; the differential is vacuous")
+	}
+}
+
+// TestCongestionPickZeroAlloc pins the tentpole's hot-path property: once
+// the pooled scratch and route buffer are warm, an ENGAGED congestion pick
+// on the symmetric fast path allocates nothing.
+func TestCongestionPickZeroAlloc(t *testing.T) {
+	// Uniformly congested: every pick engages and walks the full candidate
+	// set (ties keep the primary), the worst case for the scratch.
+	u, f := symCongestionUCMP(t, func(tor int, now sim.Time, hop netsim.PlannedHop) int { return 64 })
+	p := dataPacket(f, 0, 5, 1<<20)
+	p.Bucket = 1
+	p.Route = make([]netsim.PlannedHop, 0, 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		hops, ok := u.PlanRoute(p, 0, 0, 1, p.Route[:0])
+		if !ok {
+			t.Fatal("plan failed")
+		}
+		p.Route = hops
+	})
+	if raceEnabled {
+		// The race detector makes sync.Pool drop Puts at random, so the
+		// pooled scratch legitimately reallocates; the run above still
+		// gives the engaged pick race coverage.
+		t.Logf("race detector on: skipping zero-alloc assertion (measured %.2f allocs/op)", allocs)
+		return
+	}
+	if allocs != 0 {
+		t.Fatalf("engaged congestion pick allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCongestionPick measures one engaged congestion-steered plan on
+// the symmetric fast path (the unit under the 10% serial-regression gate;
+// run with -benchmem to see the zero-alloc property).
+func BenchmarkCongestionPick(b *testing.B) {
+	u, f := symCongestionUCMP(b, evenCongested)
+	p := dataPacket(f, 0, 5, 1<<20)
+	p.Bucket = 1
+	p.Route = make([]netsim.PlannedHop, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hops, ok := u.PlanRoute(p, 0, 0, int64(i%f.Sched.S), p.Route[:0])
+		if !ok {
+			b.Fatal("plan failed")
+		}
+		p.Route = hops
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package routing
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// -race, sync.Pool deliberately drops Puts at random, so pooled-scratch
+// zero-alloc assertions cannot hold; tests use this to relax them while
+// still exercising the code path for race coverage.
+const raceEnabled = true

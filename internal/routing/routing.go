@@ -22,6 +22,23 @@ func hopsFromPath(p *core.Path, fromAbs int64, buf []netsim.PlannedHop) []netsim
 	return buf
 }
 
+// emitHops is hopsFromPath generalized to canonical-group paths: ToR labels
+// are rotated by +rot mod n at emission (rot = 0 reproduces hopsFromPath on
+// concrete paths; rot = source ToR relabels a rotation-symmetric canonical
+// path, see core.PathSet.CanonGroup). Like hopsFromPath it appends into buf
+// and allocates nothing once buf's capacity has warmed up.
+func emitHops(p *core.Path, rot, n int, fromAbs int64, buf []netsim.PlannedHop) []netsim.PlannedHop {
+	offset := fromAbs - p.StartSlice
+	for _, h := range p.Hops {
+		to := h.To + rot
+		if to >= n {
+			to -= n
+		}
+		buf = append(buf, netsim.PlannedHop{To: to, AbsSlice: h.Slice + offset})
+	}
+	return buf
+}
+
 // sameSliceHops plans a node path (KSP/Opera style continuous path) with
 // every hop in the given absolute slice, appending into buf.
 func sameSliceHops(nodes []int, abs int64, buf []netsim.PlannedHop) []netsim.PlannedHop {

@@ -127,3 +127,33 @@ func TestTableSetEviction(t *testing.T) {
 		t.Fatal("recompiled table differs from original")
 	}
 }
+
+// TestTableSetEvictionOrder pins the discipline precisely: insertion order
+// is eviction order, and a cache hit does NOT refresh a table's position —
+// the cache is FIFO, not LRU.
+func TestTableSetEvictionOrder(t *testing.T) {
+	f := symDiffFabric(t, 8, 4)
+	ps := core.BuildPathSet(f, 0.5)
+	set := NewTableSet(ps, core.NewFlowAger(ps), 2)
+	order := func(want ...int) {
+		t.Helper()
+		got := set.CachedToRs()
+		if len(got) != len(want) {
+			t.Fatalf("cached %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cached %v, want %v", got, want)
+			}
+		}
+	}
+	set.For(0)
+	set.For(1)
+	order(0, 1)
+	set.For(0) // hit: position unchanged
+	order(0, 1)
+	set.For(2) // evicts 0, the oldest insert, despite its recent hit
+	order(1, 2)
+	set.For(0) // recompiles 0, evicting 1
+	order(2, 0)
+}

@@ -64,3 +64,11 @@ func (s *TableSet) Cached() int {
 	defer s.mu.Unlock()
 	return len(s.tables)
 }
+
+// CachedToRs returns the materialized source ToRs oldest-first — the order
+// FIFO eviction will discard them in. For tests and diagnostics.
+func (s *TableSet) CachedToRs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.order...)
+}

@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sync"
+
 	"ucmp/internal/core"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
@@ -36,11 +38,14 @@ type UCMP struct {
 
 	// Backlog and CongestionThreshold enable the §10 congestion-aware
 	// extension (see congestion.go): when the primary candidate's
-	// first-hop calendar queue holds at least CongestionThreshold data
-	// packets, assignment steers to the least-congested path within one
-	// bucket of the minimum uniform cost. Backlog is usually
-	// netsim.Network.CalendarBacklog.
-	Backlog             func(tor int, hop netsim.PlannedHop) int
+	// first-hop calendar queue held at least CongestionThreshold data
+	// packets as of the last slice boundary, assignment steers to the
+	// least-congested path within one bucket of the minimum uniform cost.
+	// Backlog is usually netsim.Network.CongestionBacklog, the
+	// slice-boundary board view (stale by one slice, identical in serial
+	// and sharded runs); now is the plan instant, which anchors the board
+	// slot read.
+	Backlog             func(tor int, now sim.Time, hop netsim.PlannedHop) int
 	CongestionThreshold int
 
 	// Tables, when non-nil, serves steady-state route plans from compiled
@@ -50,11 +55,19 @@ type UCMP struct {
 	// path; faults and congestion steering still take the group machinery.
 	// Set via EnableTables.
 	Tables *TableSet
+
+	// congPool recycles the congestion pick's scratch (candidate buffer +
+	// backlog memo, congestion.go). A pool rather than a plain field:
+	// PlanRoute is called concurrently from every lookahead domain of a
+	// sharded run, and the router must stay safe for concurrent use.
+	congPool sync.Pool
 }
 
 // NewUCMP builds the router from an offline PathSet.
 func NewUCMP(ps *core.PathSet) *UCMP {
-	return &UCMP{PS: ps, Ager: core.NewFlowAger(ps), RelaxCutoff: FlowCutoff15MB, ForceBucket: -1}
+	u := &UCMP{PS: ps, Ager: core.NewFlowAger(ps), RelaxCutoff: FlowCutoff15MB, ForceBucket: -1}
+	u.congPool.New = func() any { return new(congScratch) }
+	return u
 }
 
 // Name implements netsim.Router.
@@ -108,20 +121,42 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 			}
 		}
 	}
-	g := u.PS.Group(ts, tor, dst)
+	// The general path. On a rotation-symmetric PathSet with no fault view
+	// the canonical group serves the decision and hops are relabeled by
+	// +tor at emission (emitHops), which keeps the congestion-steered plan
+	// allocation-free — PS.Group would materialize concrete paths. A fault
+	// view needs absolute labels for the health predicate and the fault
+	// path already allocates, so it takes the materialized group (rot = 0).
+	n := u.PS.F.Sched.N
+	rot := 0
+	var g *core.Group
+	if u.Health == nil && u.PS.Symmetric() {
+		delta := dst - tor
+		if delta < 0 {
+			delta += n
+		}
+		g = u.PS.CanonGroup(ts, delta)
+		rot = tor
+	} else {
+		g = u.PS.Group(ts, tor, dst)
+	}
 	var ok func(*core.Path) bool
 	if u.Health != nil {
 		h := u.Health
 		ok = func(p *core.Path) bool { return h.PathOK(now, p) }
 	}
-	path := u.pickUncongested(g, bucket, tor, fromAbs, hash, ok)
+	path, steered := u.pickUncongested(g, bucket, tor, rot, n, now, fromAbs, hash, ok)
 	class := netsim.RecoveryPrimary
+	if steered {
+		class = netsim.RecoverySteered
+	}
 	if path == nil {
 		path, class = u.pickHealthy(g, bucket, hash, ok)
 	}
 	if path == nil {
 		// Group exhausted (a failure, or an empty group): fall back to a
-		// healthy backup 2-hop path avoiding failed ToRs (§5.3).
+		// healthy backup 2-hop path avoiding failed ToRs (§5.3). Backup
+		// paths are always concrete, so they emit without rotation.
 		var exclude func(int) bool
 		if u.Health != nil {
 			h := u.Health
@@ -133,10 +168,11 @@ func (u *UCMP) PlanRoute(p *netsim.Packet, tor int, now sim.Time, fromAbs int64,
 			p.RecoveredVia = netsim.RecoveryNone
 			return nil, false
 		}
-		class = netsim.RecoveryBackup
+		p.RecoveredVia = netsim.RecoveryBackup
+		return hopsFromPath(path, fromAbs, buf), true
 	}
 	p.RecoveredVia = class
-	return hopsFromPath(path, fromAbs, buf), true
+	return emitHops(path, rot, n, fromAbs, buf), true
 }
 
 // planSymmetric is the zero-alloc steady-state plan on a rotation-symmetric
@@ -158,14 +194,7 @@ func (u *UCMP) planSymmetric(tor, dst, ts, bucket int, hash uint64, fromAbs int6
 		return nil, false
 	}
 	path := paths[hash%uint64(len(paths))]
-	for _, h := range path.Hops {
-		to := h.To + tor
-		if to >= n {
-			to -= n
-		}
-		buf = append(buf, netsim.PlannedHop{To: to, AbsSlice: h.Slice + fromAbs})
-	}
-	return buf, true
+	return emitHops(path, tor, n, fromAbs, buf), true
 }
 
 // clampBucket mirrors the router's out-of-range bucket tolerance (Group
