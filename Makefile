@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-scaling scale-smoke
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-scaling scale-smoke
 
 check: vet staticcheck build test race
 
@@ -32,8 +32,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
-	$(GO) test -race -run 'TestCompiledTableBytesSymmetricVsBrute|TestSymmetricFastPathMatchesGroupPath|TestTableSetEviction|TestCompiledTableAgreesWithRouter|TestCongestionCanonicalMatchesBrute|TestCongestionPickZeroAlloc' ./internal/routing
-	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestDifferentialLazyTables|TestDifferentialCongestionSharded|TestCongestionSteeringChangesOutcome|TestTableCacheCapConfig|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
+	$(GO) test -race -run 'TestCompiledTableBytesSymmetricVsBrute|TestSymmetricFastPathMatchesGroupPath|TestTableSetEviction|TestCompiledTableAgreesWithRouter|TestCongestionCanonicalMatchesBrute|TestCongestionPickZeroAlloc|TestPackedCodecRoundTrip' ./internal/routing
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestDifferentialLazyTables|TestDifferentialCongestionSharded|TestDifferentialWarmFabric|TestCongestionSteeringChangesOutcome|TestTableCacheCapConfig|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
 
 # bench regenerates the numbers tracked in results/BENCH_*.json: the offline
 # path-set build (results/BENCH_seed.json) and the netsim packet-path
@@ -167,11 +167,37 @@ bench-pr8:
 		-method "make bench-pr8 (slice-boundary congestion board; serial hot paths at GOMAXPROCS=1 gated 10% vs results/BENCH_pr7.json; CongestionSharded ladder at full core count)" \
 		< results/bench_pr8_raw.txt > results/BENCH_pr8.json
 
-# scale-smoke is the CI wall-clock budget check: the 512-ToR point of the
-# scaling sweep (symmetric offline build + table compile + permutation sim)
-# must finish within the timeout on a cold cache.
+# bench-pr9 refreshes the warm-fabric record in two stages landing in one
+# results/BENCH_pr9.json: (1) the serial hot paths under GOMAXPROCS=1, gated
+# at 10% regression against results/BENCH_pr8.json — the codec, the
+# TableSet LRU, and the cache plumbing must not tax the packet path — and
+# (2) BenchmarkFabricColdVsWarm (N=512/1024 at -benchtime 1x), recording the
+# cold build, the warm mmap load, and the speedup as custom metrics. The
+# cold/warm entries are new in this record, so the comparison prints "(not
+# in baseline)" for them instead of gating.
+bench-pr9:
+	GOMAXPROCS=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$|BenchmarkSaturation64$$|BenchmarkSaturation64Sharded$$|BenchmarkSaturationFailover$$' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/netsim \
+		> results/.pr9_serial.tmp
+	$(GO) test -run '^$$' -bench 'BenchmarkFabricColdVsWarm' -benchtime 1x . \
+		> results/.pr9_fabric.tmp
+	cat results/.pr9_serial.tmp results/.pr9_fabric.tmp > results/bench_pr9_raw.txt
+	rm -f results/.pr9_serial.tmp results/.pr9_fabric.tmp
+	$(GO) run ./cmd/benchjson -compare results/BENCH_pr8.json -maxregress 0.10 \
+		-method "make bench-pr9 (warm-fabric cache + circulant Opera; serial hot paths at GOMAXPROCS=1 gated 10% vs results/BENCH_pr8.json; FabricColdVsWarm N=512/1024 at -benchtime 1x)" \
+		< results/bench_pr9_raw.txt > results/BENCH_pr9.json
+
+# scale-smoke is the CI wall-clock budget check at the 512-ToR point of the
+# scaling sweep: the first pass builds the symmetric path set cold, compiles
+# the table, runs the permutation sim, and saves the compiled fabric into
+# the cache directory; the second pass must reload it warm (asserted via the
+# report's warm column) within a much tighter budget.
 scale-smoke:
-	timeout 300 $(GO) run ./cmd/ucmpbench -exp scale -scale-ns 512
+	rm -rf results/.scale_cache
+	timeout 300 $(GO) run ./cmd/ucmpbench -exp scale -scale-ns 512 -fabric-cache results/.scale_cache
+	timeout 120 $(GO) run ./cmd/ucmpbench -exp scale -scale-ns 512 -fabric-cache results/.scale_cache | tee /dev/stderr | grep -q '1/1 points loaded warm'
+	rm -rf results/.scale_cache
 
 # bench-scaling runs only the multicore sweep, printing raw `go test` lines:
 # the quick local answer to "does sharding win on this machine".

@@ -84,6 +84,7 @@ func main() {
 		procsF    = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS values to sweep; exhibits run once per value (empty = current setting)")
 		scaleNsF  = flag.String("scale-ns", "", "comma-separated fabric sizes for -exp scale (empty = 108,256,512,1024)")
 		benchFmtF = flag.Bool("benchfmt", false, "emit -exp scale results as `go test -bench` lines on stdout (for cmd/benchjson); the human report moves to stderr")
+		cacheF    = flag.String("fabric-cache", "", "directory for the warm-fabric cache: compiled UCMP fabrics are mmap-loaded from it when present and saved into it after cold builds")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
@@ -164,7 +165,7 @@ func main() {
 		}
 	}
 
-	r := runner{full: *fullF, seed: *seedF, shards: *shardsF, benchFmt: *benchFmtF}
+	r := runner{full: *fullF, seed: *seedF, shards: *shardsF, benchFmt: *benchFmtF, cacheDir: *cacheF}
 	if *scaleNsF != "" {
 		for _, s := range strings.Split(*scaleNsF, ",") {
 			var n int
@@ -222,6 +223,7 @@ type runner struct {
 	seed     int64
 	shards   int
 	benchFmt bool
+	cacheDir string
 	scaleNs  []int
 
 	ps *core.PathSet
@@ -250,6 +252,7 @@ func (r *runner) simBase() harness.SimConfig {
 	cfg := harness.ScaledConfig(harness.UCMP, transport.DCTCP, "websearch")
 	cfg.Seed = r.seed
 	cfg.Shards = r.shards
+	cfg.FabricCacheDir = r.cacheDir
 	if r.full {
 		cfg.Duration = 20 * sim.Millisecond
 		cfg.Horizon = 80 * sim.Millisecond
@@ -275,7 +278,7 @@ func (r *runner) run(exp string) error {
 		}
 		fmt.Println(harness.Table3(rows))
 	case "scale":
-		rep, pts, err := harness.ScaleSweep(harness.ScaleConfig{Ns: r.scaleNs, Seed: r.seed})
+		rep, pts, err := harness.ScaleSweep(harness.ScaleConfig{Ns: r.scaleNs, Seed: r.seed, CacheDir: r.cacheDir})
 		if err != nil {
 			return err
 		}

@@ -50,6 +50,7 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's 108-ToR/100Gbps configuration")
 		flowsF     = flag.String("flows", "", "CSV flow trace to replay instead of the Poisson workload")
 		fctOutF    = flag.String("fctout", "", "write per-flow results to this CSV file")
+		cacheF     = flag.String("fabric-cache", "", "directory for the warm-fabric cache: the compiled UCMP fabric is mmap-loaded from it when present and saved into it after a cold build")
 	)
 	flag.Parse()
 
@@ -66,6 +67,8 @@ func main() {
 		MaxFlowSize:  *clipF,
 		LinkFailFrac: *failF,
 		SampleEvery:  500 * sim.Microsecond,
+
+		FabricCacheDir: *cacheF,
 	}
 	if *paper {
 		cfg.Topo = topo.PaperDefault()

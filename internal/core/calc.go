@@ -21,11 +21,15 @@ type Calculator struct {
 	Bound HmaxBound
 }
 
+// DefaultMaxParallel is the parallel-path retention NewCalculator starts
+// with; fabriccache keys normalize an unset cap to this value.
+const DefaultMaxParallel = 4
+
 // NewCalculator derives Q(h_max) from the fabric per Appendix B and returns
-// a calculator with default parallel retention of 4 paths.
+// a calculator with default parallel retention of DefaultMaxParallel paths.
 func NewCalculator(f *topo.Fabric) *Calculator {
 	b := BoundHmax(f.Config, f.Sched)
-	return &Calculator{F: f, HMax: b.Q, HSlice: b.HSlice, MaxParallel: 4, Bound: b}
+	return &Calculator{F: f, HMax: b.Q, HSlice: b.HSlice, MaxParallel: DefaultMaxParallel, Bound: b}
 }
 
 // Tables holds the DP results of Alg. 1 for one starting slice: for every

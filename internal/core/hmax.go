@@ -78,6 +78,22 @@ func BoundHmax(cfg topo.Config, sched *topo.Schedule) HmaxBound {
 // slice would dominate offline cost) it uses a multi-sweep eccentricity
 // estimate, which is tight on the expander-like slice graphs RDCNs use.
 func scheduleHStatic(s *topo.Schedule) int {
+	if s.Rotation() {
+		// Rotation-symmetric slices are circulant graphs, hence
+		// vertex-transitive: every vertex has the same eccentricity, so one
+		// BFS from ToR 0 per slice yields the exact diameter at any scale.
+		max := 0
+		for sl := 0; sl < s.S; sl++ {
+			_, ecc := farthest(s.SliceGraph(sl), 0)
+			if ecc < 0 {
+				return s.N // disconnected: conservative bound
+			}
+			if ecc > max {
+				max = ecc
+			}
+		}
+		return max
+	}
 	if s.N <= 512 {
 		return s.MaxDiameter()
 	}

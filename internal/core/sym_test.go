@@ -9,15 +9,19 @@ import (
 )
 
 func symFabric(t *testing.T, n, d int) *topo.Fabric {
+	return kindFabric(t, "round-robin", n, d)
+}
+
+func kindFabric(t *testing.T, kind string, n, d int) *topo.Fabric {
 	t.Helper()
 	cfg := topo.Scaled()
 	cfg.NumToRs, cfg.Uplinks = n, d
-	f, err := topo.NewFabric(cfg, "round-robin", 1)
+	f, err := topo.NewFabric(cfg, kind, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !f.Sched.Rotation() {
-		t.Fatalf("RoundRobin(%d,%d) not rotation-symmetric", n, d)
+		t.Fatalf("%s(%d,%d) not rotation-symmetric", kind, n, d)
 	}
 	return f
 }
@@ -41,53 +45,71 @@ func groupString(g *Group) string {
 }
 
 // TestSymmetricBuildMatchesBrute is the tentpole differential: on small
-// symmetric fabrics, the canonical O(S·N) build must be group-for-group
-// identical to the brute-force O(S·N²) build — same entries, same absolute
-// hop sequences, same parallel-path sets, same hulls and thresholds — for
-// every (t_start, src, dst) and across both bucket configurations
-// (MaxParallel 1 and the default 4).
+// symmetric fabrics — across every circulant schedule family — the
+// canonical O(S·N) build must be group-for-group identical to the
+// brute-force O(S·N²) build — same entries, same absolute hop sequences,
+// same parallel-path sets, same hulls and thresholds — for every
+// (t_start, src, dst) and across both bucket configurations (MaxParallel 1
+// and the default 4).
 func TestSymmetricBuildMatchesBrute(t *testing.T) {
-	for _, nd := range [][2]int{{8, 4}, {16, 4}} {
-		for _, mp := range []int{1, 4} {
-			f := symFabric(t, nd[0], nd[1])
-			sym := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp})
-			if !sym.Symmetric() {
-				t.Fatalf("(%d,%d): symmetric build not taken", nd[0], nd[1])
-			}
-			brute := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp, NoSymmetry: true})
-			if brute.Symmetric() {
-				t.Fatalf("(%d,%d): NoSymmetry ignored", nd[0], nd[1])
-			}
-			s, n := f.Sched.S, f.Sched.N
-			for ts := 0; ts < s; ts++ {
-				for src := 0; src < n; src++ {
-					for dst := 0; dst < n; dst++ {
-						if src == dst {
-							continue
-						}
-						gs := groupString(sym.Group(ts, src, dst))
-						gb := groupString(brute.Group(ts, src, dst))
-						if gs != gb {
-							t.Fatalf("(%d,%d) mp=%d group (%d,%d,%d) differs:\nsym:\n%s\nbrute:\n%s",
-								nd[0], nd[1], mp, ts, src, dst, gs, gb)
+	for _, kind := range []string{"round-robin", "opera", "random-circulant"} {
+		for _, nd := range [][2]int{{8, 4}, {16, 4}} {
+			for _, mp := range []int{1, 4} {
+				f := kindFabric(t, kind, nd[0], nd[1])
+				sym := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp})
+				if !sym.Symmetric() {
+					t.Fatalf("%s(%d,%d): symmetric build not taken", kind, nd[0], nd[1])
+				}
+				brute := BuildPathSetOpts(f, 0.5, BuildOptions{MaxParallel: mp, NoSymmetry: true})
+				if brute.Symmetric() {
+					t.Fatalf("%s(%d,%d): NoSymmetry ignored", kind, nd[0], nd[1])
+				}
+				s, n := f.Sched.S, f.Sched.N
+				for ts := 0; ts < s; ts++ {
+					for src := 0; src < n; src++ {
+						for dst := 0; dst < n; dst++ {
+							if src == dst {
+								continue
+							}
+							gs := groupString(sym.Group(ts, src, dst))
+							gb := groupString(brute.Group(ts, src, dst))
+							if gs != gb {
+								t.Fatalf("%s(%d,%d) mp=%d group (%d,%d,%d) differs:\nsym:\n%s\nbrute:\n%s",
+									kind, nd[0], nd[1], mp, ts, src, dst, gs, gb)
+							}
 						}
 					}
 				}
-			}
-			// The derived global structures must agree too.
-			st, bt := sym.GlobalThresholds(), brute.GlobalThresholds()
-			if len(st) != len(bt) {
-				t.Fatalf("threshold counts differ: %d vs %d", len(st), len(bt))
-			}
-			for i := range st {
-				if st[i] != bt[i] {
-					t.Fatalf("threshold %d differs: %v vs %v", i, st[i], bt[i])
+				// The derived global structures must agree too.
+				st, bt := sym.GlobalThresholds(), brute.GlobalThresholds()
+				if len(st) != len(bt) {
+					t.Fatalf("threshold counts differ: %d vs %d", len(st), len(bt))
+				}
+				for i := range st {
+					if st[i] != bt[i] {
+						t.Fatalf("threshold %d differs: %v vs %v", i, st[i], bt[i])
+					}
+				}
+				sg, sp := sym.SingleSliceShare()
+				bg, bp := brute.SingleSliceShare()
+				if sg != bg || sp != bp {
+					t.Fatalf("single-slice shares differ: (%v,%v) vs (%v,%v)", sg, sp, bg, bp)
 				}
 			}
-			sg, sp := sym.SingleSliceShare()
-			bg, bp := brute.SingleSliceShare()
-			if sg != bg || sp != bp {
-				t.Fatalf("single-slice shares differ: (%v,%v) vs (%v,%v)", sg, sp, bg, bp)
+		}
+	}
+}
+
+// TestScheduleHStaticRotationExact: the vertex-transitive fast path (one
+// BFS per slice) must agree with the exhaustive all-pairs diameter on
+// symmetric schedules of every circulant kind.
+func TestScheduleHStaticRotationExact(t *testing.T) {
+	for _, kind := range []string{"round-robin", "opera", "random-circulant"} {
+		for _, nd := range [][2]int{{16, 4}, {64, 4}, {64, 8}} {
+			f := kindFabric(t, kind, nd[0], nd[1])
+			if got, want := scheduleHStatic(f.Sched), f.Sched.MaxDiameter(); got != want {
+				t.Errorf("%s(%d,%d): scheduleHStatic = %d, MaxDiameter = %d",
+					kind, nd[0], nd[1], got, want)
 			}
 		}
 	}

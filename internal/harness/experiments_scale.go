@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"ucmp/internal/core"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 	"ucmp/internal/switchres"
@@ -27,6 +26,11 @@ type ScalePoint struct {
 	Symmetric   bool
 	CanonRows   int
 	CanonUnique int
+
+	// Warm reports that the path set came from the warm-fabric cache (file
+	// or in-process) rather than an offline build — BuildSec is then the
+	// load time.
+	Warm bool
 
 	// Phase wall clocks. SimSec covers the whole Run, including the
 	// router's own path-set build.
@@ -109,6 +113,11 @@ type ScaleConfig struct {
 	FlowSize int64    // bytes per permutation flow; 0: 64 KiB
 	Horizon  sim.Time // sim horizon; 0: 20 ms
 	Seed     int64
+	// CacheDir enables the warm-fabric cache (SimConfig.FabricCacheDir):
+	// each point's path set is loaded from a compiled-fabric file when one
+	// matches, built-and-saved otherwise, and shared with the point's
+	// simulation run instead of being built twice.
+	CacheDir string
 }
 
 // DefaultScaleNs are the sweep's fabric sizes: the paper scale plus the
@@ -142,7 +151,7 @@ func ScaleSweep(cfg ScaleConfig) (*Report, []ScalePoint, error) {
 		"N", "sym", "build(s)", "canon", "compile", "sim(s)", "events", "events/s", "rows", "packed(KB)", "peak(MB)")
 	var points []ScalePoint
 	for _, n := range ns {
-		p, err := scalePoint(n, d, flowSize, horizon, cfg.Seed)
+		p, err := scalePoint(n, d, flowSize, horizon, cfg.Seed, cfg.CacheDir)
 		if err != nil {
 			return nil, nil, fmt.Errorf("scale N=%d: %w", n, err)
 		}
@@ -151,14 +160,27 @@ func ScaleSweep(cfg ScaleConfig) (*Report, []ScalePoint, error) {
 		if p.Symmetric {
 			canon = fmt.Sprintf("%d/%d", p.CanonUnique, p.CanonRows)
 		}
-		r.Addf("%-7d %-5v %-9.2f %-9s %-8.2f %-8.2f %-9d %-10.0f %-10s %-11d %-9.0f",
-			p.N, p.Symmetric, p.BuildSec, canon, p.CompileSec, p.SimSec, p.Events, p.EventsPerSec,
+		build := fmt.Sprintf("%.2f", p.BuildSec)
+		if p.Warm {
+			build += "*" // warm: loaded from the fabric cache, not built
+		}
+		r.Addf("%-7d %-5v %-9s %-9s %-8.2f %-8.2f %-9d %-10.0f %-10s %-11d %-9.0f",
+			p.N, p.Symmetric, build, canon, p.CompileSec, p.SimSec, p.Events, p.EventsPerSec,
 			fmt.Sprintf("%d/%d", p.PackedRows, p.NaiveRows), p.PackedBytes>>10, float64(p.PeakHeapBytes)/(1<<20))
+	}
+	if cfg.CacheDir != "" {
+		warm := 0
+		for _, p := range points {
+			if p.Warm {
+				warm++
+			}
+		}
+		r.Addf("warm-fabric cache %s: %d/%d points loaded warm (*)", cfg.CacheDir, warm, len(points))
 	}
 	return r, points, nil
 }
 
-func scalePoint(n, d int, flowSize int64, horizon sim.Time, seed int64) (ScalePoint, error) {
+func scalePoint(n, d int, flowSize int64, horizon sim.Time, seed int64, cacheDir string) (ScalePoint, error) {
 	tc := topo.Scaled()
 	tc.NumToRs, tc.Uplinks = n, d
 	fab, err := topo.NewFabric(tc, "round-robin", seed)
@@ -169,23 +191,28 @@ func scalePoint(n, d int, flowSize int64, horizon sim.Time, seed int64) (ScalePo
 
 	sampler := startMemSampler(50 * time.Millisecond)
 
+	sc := SimConfig{
+		Topo:           tc,
+		Routing:        UCMP,
+		Transport:      transport.DCTCP,
+		Alpha:          0.5,
+		Horizon:        horizon,
+		Seed:           seed,
+		FabricCacheDir: cacheDir,
+	}
+
+	// With a cache dir this loads (or builds-and-saves) once; the point's
+	// simulation run then reuses the same warm path set through the
+	// process-wide cache instead of building a second copy.
 	t0 := time.Now()
-	ps := core.BuildPathSet(fab, 0.5)
+	ps, _, warm := warmPathSet(fab, sc)
 	p.BuildSec = time.Since(t0).Seconds()
+	p.Warm = warm
 	p.CanonRows, p.CanonUnique = ps.CanonStats()
 
 	t0 = time.Now()
 	p.NaiveRows, p.PackedRows, p.PackedBytes = switchres.ExactTable(ps, 0)
 	p.CompileSec = time.Since(t0).Seconds()
-
-	sc := SimConfig{
-		Topo:      tc,
-		Routing:   UCMP,
-		Transport: transport.DCTCP,
-		Alpha:     0.5,
-		Horizon:   horizon,
-		Seed:      seed,
-	}
 	var flows []*netsim.Flow
 	for tor := 0; tor < n; tor++ {
 		src := tor * tc.HostsPerToR
@@ -229,11 +256,15 @@ func BenchLines(points []ScalePoint) []string {
 		if p.CanonRows > 0 {
 			dedup = float64(p.CanonUnique) / float64(p.CanonRows)
 		}
+		warm := 0
+		if p.Warm {
+			warm = 1
+		}
 		out = append(out, fmt.Sprintf(
-			"BenchmarkScaleSweep/N=%d 1 %d ns/op %.3f build-s %.3f compile-s %.3f sim-s %.1f peak-heap-MB %.1f peak-sys-MB %.0f events/s %d packed-rows %d naive-rows %d sym %.4f canon-dedup",
+			"BenchmarkScaleSweep/N=%d 1 %d ns/op %.3f build-s %.3f compile-s %.3f sim-s %.1f peak-heap-MB %.1f peak-sys-MB %.0f events/s %d packed-rows %d naive-rows %d sym %d warm %.4f canon-dedup",
 			p.N, int64(total*1e9), p.BuildSec, p.CompileSec, p.SimSec,
 			float64(p.PeakHeapBytes)/(1<<20), float64(p.PeakSysBytes)/(1<<20),
-			p.EventsPerSec, p.PackedRows, p.NaiveRows, sym, dedup))
+			p.EventsPerSec, p.PackedRows, p.NaiveRows, sym, warm, dedup))
 	}
 	return out
 }

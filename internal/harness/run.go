@@ -74,6 +74,17 @@ type SimConfig struct {
 	// keeps the default (4). 1 ablates ECMP-style tie spreading.
 	MaxParallel int
 
+	// FabricCacheDir, when set, persists compiled UCMP fabrics — the
+	// symmetric path set and ToR 0's compiled table — as mmap-able files in
+	// that directory (DESIGN.md §15) and serves subsequent runs of the same
+	// fabric + parameters from them instead of rebuilding. Loaded fabrics
+	// are additionally cached in-process, so repeated runs inside one
+	// process (trials, sweeps) share a single warm path set. Plans are
+	// byte-identical warm vs cold; a stale, foreign, or corrupted file is
+	// rebuilt and overwritten. Ignored for non-symmetric schedules and
+	// non-UCMP routing.
+	FabricCacheDir string
+
 	// UseTables routes UCMP traffic through lazily compiled per-ToR
 	// source-routing tables (§6.2) instead of direct group lookups. Plans
 	// are bit-identical; the knob exercises the switch-SRAM artifact end to
@@ -253,11 +264,14 @@ func Run(cfg SimConfig) (*Result, error) {
 	var ucmpRouter *routing.UCMP
 	switch cfg.Routing {
 	case UCMP:
-		ps := core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
+		ps, warmTable, _ := warmPathSet(fab, cfg)
 		ucmpRouter = routing.NewUCMP(ps)
 		ucmpRouter.Relax = cfg.Relax
 		if cfg.UseTables {
 			ucmpRouter.EnableTables(cfg.TableCacheCap)
+			if warmTable != nil {
+				ucmpRouter.Tables.Preload(0, warmTable)
+			}
 		}
 		switch cfg.PinPolicy {
 		case "":
@@ -425,7 +439,8 @@ func newFabricFor(cfg SimConfig, topoCfg topo.Config) (*topo.Fabric, error) {
 }
 
 func buildPathSetFor(fab *topo.Fabric, cfg SimConfig) *core.PathSet {
-	return core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
+	ps, _, _ := warmPathSet(fab, cfg)
+	return ps
 }
 
 func newUCMPFor(ps *core.PathSet, cfg SimConfig) *routing.UCMP {

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"sync"
+
+	"ucmp/internal/core"
+	"ucmp/internal/fabriccache"
+	"ucmp/internal/routing"
+	"ucmp/internal/topo"
+)
+
+// Warm-fabric plumbing (DESIGN.md §15). Loaded fabric handles are cached
+// process-wide, keyed by cache file path (which itself embeds the schedule
+// fingerprint and build parameters), so all trials of a sweep share one
+// mmap'd path set. Handles are never Closed: the table arrays alias the
+// mapping and the map retains every loaded fabric for the process lifetime —
+// read-only mappings cost address space, not dirty memory, and the set of
+// distinct fabrics per process is small.
+var warmFabrics struct {
+	sync.Mutex
+	m map[string]*fabriccache.Fabric
+}
+
+// warmPathSet returns the compiled path set for cfg's fabric, plus ToR 0's
+// compiled table when one came from the fabric cache (nil otherwise — the
+// caller compiles tables lazily as usual), and whether the result was warm
+// (served without an offline build). With FabricCacheDir unset, or for
+// schedules with no canonical form, it simply builds cold. Otherwise it
+// serves from the in-process cache, then from the cache file, and only then
+// builds cold — saving the result (best-effort) so the next process starts
+// warm. Warm and cold results are byte-identical by construction: the codec
+// round-trips the canonical arena exactly, and the differential tests pin
+// it.
+func warmPathSet(fab *topo.Fabric, cfg SimConfig) (*core.PathSet, *routing.CompiledTable, bool) {
+	if cfg.FabricCacheDir == "" || !fab.Sched.Rotation() {
+		return core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel), nil, false
+	}
+	params := fabriccache.Params{Alpha: cfg.Alpha, MaxParallel: cfg.MaxParallel}
+	path := fabriccache.FileName(cfg.FabricCacheDir, fab, params)
+
+	warmFabrics.Lock()
+	defer warmFabrics.Unlock()
+	if warmFabrics.m == nil {
+		warmFabrics.m = make(map[string]*fabriccache.Fabric)
+	}
+	if wf, ok := warmFabrics.m[path]; ok {
+		return wf.PS, wf.Table, true
+	}
+	if wf, err := fabriccache.Load(path, fab, params, fabriccache.Options{}); err == nil {
+		warmFabrics.m[path] = wf
+		return wf.PS, wf.Table, true
+	}
+	// Missing, stale, or corrupted file: rebuild and overwrite.
+	ps := core.BuildPathSetWith(fab, cfg.Alpha, cfg.MaxParallel)
+	if !ps.Symmetric() {
+		return ps, nil, false
+	}
+	table := routing.CompileTable(ps, core.NewFlowAger(ps), 0)
+	// Best-effort: a read-only cache dir degrades to cold builds, not errors.
+	_ = fabriccache.Save(path, ps, table)
+	warmFabrics.m[path] = &fabriccache.Fabric{PS: ps, Table: table}
+	return ps, table, false
+}

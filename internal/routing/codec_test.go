@@ -1,0 +1,113 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"ucmp/internal/core"
+	"ucmp/internal/topo"
+)
+
+// TestPackedCodecRoundTrip: AppendPacked → DecodePacked reproduces the table
+// byte-for-byte (via the deterministic Bytes serialization) under both the
+// aliasing and the copying decoder, and the decoded table still validates
+// and plans like the original.
+func TestPackedCodecRoundTrip(t *testing.T) {
+	for _, kind := range []string{"round-robin", "opera", "random-circulant"} {
+		f := kindDiffFabric(t, kind, 16, 4)
+		ps := core.BuildPathSet(f, 0.5)
+		ager := core.NewFlowAger(ps)
+		for _, tor := range []int{0, 5} {
+			orig := CompileTable(ps, ager, tor)
+			blob := orig.AppendPacked(nil)
+			for _, noAlias := range []bool{false, true} {
+				dec, err := DecodePacked(blob, DecodeOptions{NoAlias: noAlias})
+				if err != nil {
+					t.Fatalf("%s tor %d noAlias=%v: %v", kind, tor, noAlias, err)
+				}
+				if !bytes.Equal(dec.Bytes(), orig.Bytes()) {
+					t.Fatalf("%s tor %d noAlias=%v: decoded table differs", kind, tor, noAlias)
+				}
+				if err := dec.Validate(ps); err != nil {
+					t.Fatalf("%s tor %d noAlias=%v: decoded table invalid: %v", kind, tor, noAlias, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedCodecRoundTripNonAligned: a blob starting at a non-8-aligned
+// offset (as when appended after a misaligned prefix) cannot alias, but the
+// copying fallback must still round-trip. Decoding at the right offset keeps
+// the record-level padding honest.
+func TestPackedCodecRoundTripNonAligned(t *testing.T) {
+	f := symDiffFabric(t, 8, 4)
+	ps := core.BuildPathSet(f, 0.5)
+	orig := CompileTable(ps, core.NewFlowAger(ps), 0)
+	// Pad-to-8 inside the blob is relative to the blob start, so any slice
+	// of a larger buffer decodes; only aliasing needs the 8-byte alignment.
+	buf := orig.AppendPacked(make([]byte, 3, 3+1024))
+	dec, err := DecodePacked(buf[3:], DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Bytes(), orig.Bytes()) {
+		t.Fatal("decoded table differs")
+	}
+}
+
+// TestPackedCodecRejectsCorruption: structural corruption — truncation,
+// inflated counts, out-of-range spans — errors and never panics.
+func TestPackedCodecRejectsCorruption(t *testing.T) {
+	f := symDiffFabric(t, 8, 4)
+	ps := core.BuildPathSet(f, 0.5)
+	blob := CompileTable(ps, core.NewFlowAger(ps), 0).AppendPacked(nil)
+	if _, err := DecodePacked(nil, DecodeOptions{}); err == nil {
+		t.Fatal("empty blob must error")
+	}
+	for _, cut := range []int{1, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodePacked(blob[:len(blob)-cut], DecodeOptions{}); err == nil {
+			t.Fatalf("blob truncated by %d must error", cut)
+		}
+	}
+	// Error-or-decode for every single-bit flip; the property under test is
+	// that no flip panics or yields an out-of-range table (DecodePacked's
+	// structural checks are what Lookup's unchecked indexing relies on).
+	for i := 0; i < len(blob); i++ {
+		for _, mask := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), blob...)
+			mut[i] ^= mask
+			if dec, err := DecodePacked(mut, DecodeOptions{}); err == nil {
+				_ = dec.Bytes()
+			}
+		}
+	}
+}
+
+// FuzzDecodePacked: arbitrary bytes never panic the decoder, and any blob it
+// accepts re-encodes to a blob that decodes to the same table (the decoder's
+// own fixed point).
+func FuzzDecodePacked(f *testing.F) {
+	cfg := topo.Scaled()
+	cfg.NumToRs, cfg.Uplinks = 8, 4
+	fab := topo.MustFabric(cfg, "round-robin", 1)
+	ps := core.BuildPathSet(fab, 0.5)
+	seed := CompileTable(ps, core.NewFlowAger(ps), 0).AppendPacked(nil)
+	f.Add(seed)
+	f.Add(seed[:40])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		dec, err := DecodePacked(blob, DecodeOptions{NoAlias: true})
+		if err != nil {
+			return
+		}
+		re := dec.AppendPacked(nil)
+		dec2, err := DecodePacked(re, DecodeOptions{NoAlias: true})
+		if err != nil {
+			t.Fatalf("re-encoded blob failed to decode: %v", err)
+		}
+		if !bytes.Equal(dec.Bytes(), dec2.Bytes()) {
+			t.Fatal("decode(encode(decode(blob))) != decode(blob)")
+		}
+	})
+}

@@ -9,48 +9,55 @@ import (
 )
 
 func symDiffFabric(t *testing.T, n, d int) *topo.Fabric {
+	return kindDiffFabric(t, "round-robin", n, d)
+}
+
+func kindDiffFabric(t *testing.T, kind string, n, d int) *topo.Fabric {
 	t.Helper()
 	cfg := topo.Scaled()
 	cfg.NumToRs, cfg.Uplinks = n, d
-	f := topo.MustFabric(cfg, "round-robin", 1)
+	f := topo.MustFabric(cfg, kind, 1)
 	if !f.Sched.Rotation() {
-		t.Fatalf("RoundRobin(%d,%d) not rotation-symmetric", n, d)
+		t.Fatalf("%s(%d,%d) not rotation-symmetric", kind, n, d)
 	}
 	return f
 }
 
 // TestCompiledTableBytesSymmetricVsBrute: for every ToR of the small
-// symmetric fabrics, the table compiled from the canonical O(S·N) build
-// serializes byte-identically to the one compiled from the brute-force
-// O(S·N²) build, across both bucket configurations (parallel-path cap 1,
-// which narrows entries to single paths, and the default cap 4).
+// symmetric fabrics — across every circulant schedule family — the table
+// compiled from the canonical O(S·N) build serializes byte-identically to
+// the one compiled from the brute-force O(S·N²) build, across both bucket
+// configurations (parallel-path cap 1, which narrows entries to single
+// paths, and the default cap 4).
 func TestCompiledTableBytesSymmetricVsBrute(t *testing.T) {
-	for _, nd := range [][2]int{{8, 4}, {16, 4}} {
-		for _, mp := range []int{1, 4} {
-			f := symDiffFabric(t, nd[0], nd[1])
-			sym := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp})
-			brute := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp, NoSymmetry: true})
-			if !sym.Symmetric() || brute.Symmetric() {
-				t.Fatalf("(%d,%d): build modes not as requested", nd[0], nd[1])
-			}
-			agerS, agerB := core.NewFlowAger(sym), core.NewFlowAger(brute)
-			if agerS.NumBuckets() != agerB.NumBuckets() {
-				t.Fatalf("(%d,%d) mp=%d: bucket counts differ: %d vs %d",
-					nd[0], nd[1], mp, agerS.NumBuckets(), agerB.NumBuckets())
-			}
-			for tor := 0; tor < f.NumToRs; tor++ {
-				ts := CompileTable(sym, agerS, tor)
-				tb := CompileTable(brute, agerB, tor)
-				if err := ts.Validate(sym); err != nil {
-					t.Fatalf("symmetric table tor %d: %v", tor, err)
+	for _, kind := range []string{"round-robin", "opera", "random-circulant"} {
+		for _, nd := range [][2]int{{8, 4}, {16, 4}} {
+			for _, mp := range []int{1, 4} {
+				f := kindDiffFabric(t, kind, nd[0], nd[1])
+				sym := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp})
+				brute := core.BuildPathSetOpts(f, 0.5, core.BuildOptions{MaxParallel: mp, NoSymmetry: true})
+				if !sym.Symmetric() || brute.Symmetric() {
+					t.Fatalf("%s(%d,%d): build modes not as requested", kind, nd[0], nd[1])
 				}
-				if err := tb.Validate(brute); err != nil {
-					t.Fatalf("brute table tor %d: %v", tor, err)
+				agerS, agerB := core.NewFlowAger(sym), core.NewFlowAger(brute)
+				if agerS.NumBuckets() != agerB.NumBuckets() {
+					t.Fatalf("%s(%d,%d) mp=%d: bucket counts differ: %d vs %d",
+						kind, nd[0], nd[1], mp, agerS.NumBuckets(), agerB.NumBuckets())
 				}
-				if !bytes.Equal(ts.Bytes(), tb.Bytes()) {
-					t.Fatalf("(%d,%d) mp=%d tor %d: compiled tables differ "+
-						"(sym rows=%d hops=%d, brute rows=%d hops=%d)",
-						nd[0], nd[1], mp, tor, ts.NumRows(), len(ts.hops), tb.NumRows(), len(tb.hops))
+				for tor := 0; tor < f.NumToRs; tor++ {
+					ts := CompileTable(sym, agerS, tor)
+					tb := CompileTable(brute, agerB, tor)
+					if err := ts.Validate(sym); err != nil {
+						t.Fatalf("symmetric table tor %d: %v", tor, err)
+					}
+					if err := tb.Validate(brute); err != nil {
+						t.Fatalf("brute table tor %d: %v", tor, err)
+					}
+					if !bytes.Equal(ts.Bytes(), tb.Bytes()) {
+						t.Fatalf("%s(%d,%d) mp=%d tor %d: compiled tables differ "+
+							"(sym rows=%d hops=%d, brute rows=%d hops=%d)",
+							kind, nd[0], nd[1], mp, tor, ts.NumRows(), len(ts.hops), tb.NumRows(), len(tb.hops))
+					}
 				}
 			}
 		}
@@ -106,8 +113,8 @@ func TestSymmetricFastPathMatchesGroupPath(t *testing.T) {
 	}
 }
 
-// TestTableSetEviction pins the FIFO bound: the cache never exceeds its cap
-// and re-requesting an evicted ToR recompiles an equivalent table.
+// TestTableSetEviction pins the cache bound: the cache never exceeds its
+// cap and re-requesting an evicted ToR recompiles an equivalent table.
 func TestTableSetEviction(t *testing.T) {
 	f := symDiffFabric(t, 16, 4)
 	ps := core.BuildPathSet(f, 0.5)
@@ -128,9 +135,9 @@ func TestTableSetEviction(t *testing.T) {
 	}
 }
 
-// TestTableSetEvictionOrder pins the discipline precisely: insertion order
-// is eviction order, and a cache hit does NOT refresh a table's position —
-// the cache is FIFO, not LRU.
+// TestTableSetEvictionOrder pins the discipline precisely: the cache is
+// LRU — a hit refreshes a table's position, Preload counts as a use, and
+// the table evicted at capacity is always the least recently returned one.
 func TestTableSetEvictionOrder(t *testing.T) {
 	f := symDiffFabric(t, 8, 4)
 	ps := core.BuildPathSet(f, 0.5)
@@ -150,10 +157,20 @@ func TestTableSetEvictionOrder(t *testing.T) {
 	set.For(0)
 	set.For(1)
 	order(0, 1)
-	set.For(0) // hit: position unchanged
-	order(0, 1)
-	set.For(2) // evicts 0, the oldest insert, despite its recent hit
-	order(1, 2)
-	set.For(0) // recompiles 0, evicting 1
-	order(2, 0)
+	set.For(0) // hit: 0 becomes most recent
+	order(1, 0)
+	set.For(2) // evicts 1, now the least recently used, not oldest-insert 0
+	order(0, 2)
+	set.For(1) // recompiles 1, evicting 0
+	order(2, 1)
+
+	// Preload seeds a foreign table and counts as a use; preloading a cached
+	// ToR only refreshes recency.
+	set.Preload(5, CompileTable(ps, set.Ager, 5))
+	order(1, 5)
+	set.Preload(1, nil) // already cached: kept, touched, nil ignored
+	order(5, 1)
+	if set.For(1) == nil {
+		t.Fatal("preload of a cached ToR must not replace its table")
+	}
 }

@@ -39,14 +39,19 @@ type CompiledTable struct {
 }
 
 // packedEntry is one match row: the first bucket of its (run-length
-// collapsed) bucket range and its action list, a span into acts.
+// collapsed) bucket range and its action list, a span into acts. Field
+// order is part of the fabric-file format (codec.go): 8 bytes, no implicit
+// padding, matching the file record {u16 bucketStart, u16 actN, i32
+// actStart} so mmap'd regions alias directly on little-endian hosts.
 type packedEntry struct {
 	bucketStart uint16
-	actStart    int32
 	actN        uint16
+	actStart    int32
 }
 
-// actSpan is one action: a hop list, a span into hops.
+// actSpan is one action: a hop list, a span into hops. Also a file record:
+// {i32 hopStart, u16 hopN, u16 zero padding} — Go places the same 2 trailing
+// padding bytes, which the codec writes as explicit zeros.
 type actSpan struct {
 	hopStart int32
 	hopN     uint16

@@ -15,9 +15,13 @@ import (
 const DefaultTableCap = 16
 
 // TableSet materializes per-ToR CompiledTables lazily, on first lookup from
-// each source ToR, evicting the oldest table beyond the cap. Safe for
-// concurrent use; a given ToR's table is compiled at most once while cached
-// and is immutable afterwards.
+// each source ToR, evicting the least-recently-used table beyond the cap.
+// LRU rather than FIFO because planning traffic is bursty per source: a ToR
+// originating a long flow hits its table on every planned packet, and
+// evicting it just because it was compiled early forces the costliest
+// recompile exactly for the hottest ToRs. Safe for concurrent use; a given
+// ToR's table is compiled at most once while cached and is immutable
+// afterwards.
 type TableSet struct {
 	PS   *core.PathSet
 	Ager *core.FlowAger
@@ -25,7 +29,7 @@ type TableSet struct {
 	mu     sync.Mutex
 	cap    int
 	tables map[int]*CompiledTable
-	order  []int // insertion order, for FIFO eviction
+	order  []int // recency order, least recent first; back = most recent
 }
 
 // NewTableSet builds an empty set; capTables <= 0 picks DefaultTableCap.
@@ -41,21 +45,54 @@ func NewTableSet(ps *core.PathSet, ager *core.FlowAger, capTables int) *TableSet
 	}
 }
 
-// For returns tor's compiled table, materializing it on first use.
+// For returns tor's compiled table, materializing it on first use. A hit
+// refreshes the table's recency, so the entry evicted at capacity is always
+// the least recently returned one.
 func (s *TableSet) For(tor int) *CompiledTable {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.tables[tor]; ok {
+		s.touch(tor)
 		return t
 	}
 	t := CompileTable(s.PS, s.Ager, tor)
+	s.insert(tor, t)
+	return t
+}
+
+// Preload seeds tor's table with an already-compiled one — e.g. ToR 0's
+// table loaded from a fabric cache file — counting as a use for recency.
+// A table already cached for tor is kept (it is immutable and equivalent).
+func (s *TableSet) Preload(tor int, t *CompiledTable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[tor]; ok {
+		s.touch(tor)
+		return
+	}
+	s.insert(tor, t)
+}
+
+// touch moves tor to the most-recent end of order. Caller holds mu.
+func (s *TableSet) touch(tor int) {
+	for i, o := range s.order {
+		if o == tor {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = tor
+			return
+		}
+	}
+}
+
+// insert adds a table, evicting the least recently used beyond the cap.
+// Caller holds mu.
+func (s *TableSet) insert(tor int, t *CompiledTable) {
 	if len(s.order) >= s.cap {
 		delete(s.tables, s.order[0])
 		s.order = s.order[1:]
 	}
 	s.tables[tor] = t
 	s.order = append(s.order, tor)
-	return t
 }
 
 // Cached returns how many tables are currently materialized.
@@ -65,8 +102,9 @@ func (s *TableSet) Cached() int {
 	return len(s.tables)
 }
 
-// CachedToRs returns the materialized source ToRs oldest-first — the order
-// FIFO eviction will discard them in. For tests and diagnostics.
+// CachedToRs returns the materialized source ToRs least-recently-used
+// first — the order LRU eviction will discard them in. For tests and
+// diagnostics.
 func (s *TableSet) CachedToRs() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -14,7 +14,8 @@ type Fabric struct {
 }
 
 // NewFabric validates the configuration, builds the requested schedule kind
-// ("round-robin", "random", "opera") and returns the fabric.
+// ("round-robin", "random", "opera", "random-circulant") and returns the
+// fabric.
 func NewFabric(cfg Config, kind string, seed int64) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -27,6 +28,11 @@ func NewFabric(cfg Config, kind string, seed int64) (*Fabric, error) {
 		s = Random(cfg.NumToRs, cfg.Uplinks, seed)
 	case "opera":
 		s = Opera(cfg.NumToRs, cfg.Uplinks)
+	case "random-circulant":
+		var err error
+		if s, err = RandomCirculant(cfg.NumToRs, cfg.Uplinks, seed); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("topo: unknown schedule kind %q", kind)
 	}

@@ -12,7 +12,8 @@ type Schedule struct {
 	// N is the number of ToRs, D the number of circuit switches (= uplinks
 	// per ToR), S the number of time slices per circuit cycle.
 	N, D, S int
-	// Kind names the generator ("round-robin", "random", "opera").
+	// Kind names the generator ("round-robin", "random", "opera",
+	// "random-circulant").
 	Kind string
 
 	slices [][]Matching // [S][D] matching per slice per switch
@@ -92,7 +93,17 @@ func Random(n, d int, seed int64) *Schedule {
 // L*d slices with L = ceil((N-1)/d), so each pair still gets a direct
 // circuit every cycle, and at any instant (d-1)/d of the circuits are
 // stable.
+//
+// When N is a power of two and d is even >= 4, the matchings come from the
+// rotation-symmetric difference-class construction (circulant.go) instead:
+// the unit of reconfiguration becomes a switch pair holding one class, the
+// cycle shortens to ceil((N/2)/(d/2))·(d/2) slices, and (d-2)/d of the
+// circuits are stable at any instant — in exchange the schedule carries the
+// verified rotation witness, so the offline build scales as O(S·N).
 func Opera(n, d int) *Schedule {
+	if rotationSymmetricRR(n, d) {
+		return circulantOpera(n, d)
+	}
 	rounds := ExpanderFactorization(n)
 	l := (len(rounds) + d - 1) / d
 	// own[k] lists the matchings owned by switch k, padded by wrapping.

@@ -97,18 +97,18 @@ func differenceMatchings(n, delta int) (a, b Matching) {
 // d >= 4 there are at least as many odd classes as slices, so every slice
 // graph is connected.
 func symmetricUnitOrder(n, h int) []int {
+	return circulantUnitOrder(n, h, 0xC2B2AE3D27D4EB4F, 0x9E3779B97F4A7C15)
+}
+
+// circulantUnitOrder is symmetricUnitOrder with caller-chosen shuffle seeds,
+// shared with RandomCirculant (which mixes a user seed into them). The fixed
+// seeds above keep RoundRobin's schedules bit-identical across builds.
+func circulantUnitOrder(n, h int, oddSeed, evenSeed uint64) []int {
 	u := n / 2
 	s := (u + h - 1) / h
-	var odds, evens []int
-	for delta := 1; delta <= u; delta++ {
-		if delta%2 == 1 {
-			odds = append(odds, delta)
-		} else {
-			evens = append(evens, delta)
-		}
-	}
-	lcgShuffle(odds, 0xC2B2AE3D27D4EB4F)
-	lcgShuffle(evens, 0x9E3779B97F4A7C15)
+	odds, evens := splitDifferenceClasses(n)
+	lcgShuffle(odds, oddSeed)
+	lcgShuffle(evens, evenSeed)
 	caps := make([]int, s)
 	for b := range caps {
 		caps[b] = h
@@ -147,36 +147,64 @@ func lcgShuffle(xs []int, seed uint64) {
 	}
 }
 
-// verifyRotation checks — it never assumes — that every slice's edge set is
-// closed under i -> (i+1) mod N and that the reconfiguration pattern is
-// uniform across switches within each slice (so relabeled circuits share
-// reconfiguration timing). Closure under +1 on a finite edge set implies
-// closure under every rotation. O(S·N·D) with a transient N²-bit set.
+// verifyRotation checks — it never assumes — two closure properties per
+// slice, each under the ToR relabeling i -> (i+1) mod N (closure under +1 on
+// a finite edge set implies closure under every rotation):
+//
+//  1. the slice's full edge set is closed, which makes the offline DP
+//     rotation-equivariant (it reads only connectivity); and
+//  2. the subset of edges dark at the slice start — edges realized only by
+//     switches that reconfigure entering the slice — is closed, which makes
+//     the physical fabric rotation-symmetric too: a relabeled circuit waits
+//     out exactly the reconfiguration delay its canonical copy does.
+//
+// Condition 2 generalizes the earlier uniform-reconfiguration requirement
+// (all switches of a slice sharing one flag trivially yields dark = full
+// set): Opera-style staggered schedules reconfigure one unit per boundary,
+// and they verify iff each boundary darkens whole difference classes.
+// O(S·N·D) with three transient N²-bit sets.
 func (s *Schedule) verifyRotation() bool {
 	n := s.N
-	bits := make([]uint64, (n*n+63)/64)
+	words := (n*n + 63) / 64
+	all := make([]uint64, words)  // every edge of the slice
+	live := make([]uint64, words) // edges kept by a non-reconfiguring switch
+	dark := make([]uint64, words) // edges served only by reconfiguring switches
 	for sl := 0; sl < s.S; sl++ {
-		for sw := 1; sw < s.D; sw++ {
-			if s.reconf[sl][sw] != s.reconf[sl][0] {
-				return false
+		for i := range all {
+			all[i], live[i], dark[i] = 0, 0, 0
+		}
+		for sw := 0; sw < s.D; sw++ {
+			m := s.slices[sl][sw]
+			rec := s.reconf[sl][sw]
+			for i := 0; i < n; i++ {
+				id := i*n + m[i]
+				all[id>>6] |= 1 << (id & 63)
+				if !rec {
+					live[id>>6] |= 1 << (id & 63)
+				}
 			}
 		}
-		for i := range bits {
-			bits[i] = 0
+		for sw := 0; sw < s.D; sw++ {
+			if !s.reconf[sl][sw] {
+				continue
+			}
+			m := s.slices[sl][sw]
+			for i := 0; i < n; i++ {
+				id := i*n + m[i]
+				if live[id>>6]&(1<<(id&63)) == 0 {
+					dark[id>>6] |= 1 << (id & 63)
+				}
+			}
 		}
 		for sw := 0; sw < s.D; sw++ {
 			m := s.slices[sl][sw]
 			for i := 0; i < n; i++ {
 				id := i*n + m[i]
-				bits[id>>6] |= 1 << (id & 63)
-			}
-		}
-		for sw := 0; sw < s.D; sw++ {
-			m := s.slices[sl][sw]
-			for i := 0; i < n; i++ {
-				ri, rj := (i+1)%n, (m[i]+1)%n
-				id := ri*n + rj
-				if bits[id>>6]&(1<<(id&63)) == 0 {
+				rid := ((i+1)%n)*n + (m[i]+1)%n
+				if all[rid>>6]&(1<<(rid&63)) == 0 {
+					return false
+				}
+				if dark[id>>6]&(1<<(id&63)) != 0 && dark[rid>>6]&(1<<(rid&63)) == 0 {
 					return false
 				}
 			}
@@ -209,12 +237,13 @@ func (s *Schedule) buildDeltaTables() {
 }
 
 // Rotation reports whether the schedule is rotation-symmetric: every
-// slice's edge set is invariant under the ToR relabeling i -> (i+1) mod N
-// (hence under all rotations), with uniform per-slice reconfiguration. The
-// witness is verified from the built matchings at construction time, never
-// assumed from the generator kind: RoundRobin on a power-of-two N with even
-// d verifies true; the circle-method, Random, and Opera schedules verify
-// false.
+// slice's edge set — and its dark-at-slice-start subset — is invariant
+// under the ToR relabeling i -> (i+1) mod N (hence under all rotations).
+// The witness is verified from the built matchings and reconfiguration
+// flags at construction time, never assumed from the generator kind:
+// RoundRobin and Opera on a power-of-two N with even d >= 4 verify true
+// (circulant constructions), as does RandomCirculant; the circle-method
+// fallbacks and Random verify false.
 func (s *Schedule) Rotation() bool { return s.rotSym }
 
 // DeltaNext exposes the Δ-indexed dense next-direct table of a

@@ -72,14 +72,211 @@ func TestRoundRobinRotationGrid(t *testing.T) {
 	}
 }
 
-// TestRotationFalseForOtherKinds: the witness is verified, not keyed on the
-// generator — Random and Opera stay false even on power-of-two fabrics.
-func TestRotationFalseForOtherKinds(t *testing.T) {
-	if s := Random(16, 4, 42); s.Rotation() {
-		t.Error("Random(16,4) verified rotation-symmetric")
+// darkClosureRef is a brute-force reference for the witness's second
+// condition: per slice, the edges realized only by reconfiguring switches
+// (dark at the slice start), rotated by +1, must reappear in the same dark
+// set.
+func darkClosureRef(s *Schedule) bool {
+	for sl := 0; sl < s.S; sl++ {
+		live := make(map[[2]int]bool)
+		dark := make(map[[2]int]bool)
+		for sw := 0; sw < s.D; sw++ {
+			if !s.reconf[sl][sw] {
+				for i, j := range s.slices[sl][sw] {
+					live[[2]int{i, j}] = true
+				}
+			}
+		}
+		for sw := 0; sw < s.D; sw++ {
+			if s.reconf[sl][sw] {
+				for i, j := range s.slices[sl][sw] {
+					if !live[[2]int{i, j}] {
+						dark[[2]int{i, j}] = true
+					}
+				}
+			}
+		}
+		for e := range dark {
+			if !dark[[2]int{(e[0] + 1) % s.N, (e[1] + 1) % s.N}] {
+				return false
+			}
+		}
 	}
-	if s := Opera(16, 4); s.Rotation() {
-		t.Error("Opera(16,4) verified rotation-symmetric")
+	return true
+}
+
+// TestRotationWitnessByKind: the witness is verified, not keyed on the
+// generator — Random stays false even on power-of-two dimensions, Opera
+// verifies true exactly when its circulant construction engages, and the
+// witness always agrees with the brute-force closure references.
+func TestRotationWitnessByKind(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Schedule
+		sym  bool
+	}{
+		{"Random(16,4,42)", Random(16, 4, 42), false},
+		{"Opera(16,4)", Opera(16, 4), true},
+		{"Opera(8,4)", Opera(8, 4), true},
+		{"Opera(64,8)", Opera(64, 8), true},
+		{"Opera(16,3)", Opera(16, 3), false},
+		{"Opera(10,4)", Opera(10, 4), false},
+		{"Opera(8,2)", Opera(8, 2), false},
+	}
+	for _, c := range cases {
+		if c.s.Rotation() != c.sym {
+			t.Errorf("%s.Rotation() = %v, want %v", c.name, c.s.Rotation(), c.sym)
+		}
+		ref := rotationClosureRef(c.s) && darkClosureRef(c.s)
+		if ref != c.s.Rotation() {
+			t.Errorf("%s: witness %v disagrees with reference %v", c.name, c.s.Rotation(), ref)
+		}
+	}
+}
+
+// TestStaggeredDarkSetBreaksWitness: edge-set closure alone is not enough.
+// Reconfiguring only switch 0 of a symmetric round-robin darkens a single
+// 2-coloring of a difference class — rotation maps it into the other
+// coloring, so the dark set is not closed and the witness must fail even
+// though every slice's edge set still rotates onto itself.
+func TestStaggeredDarkSetBreaksWitness(t *testing.T) {
+	src := RoundRobin(16, 4)
+	if !src.Rotation() {
+		t.Fatal("RoundRobin(16,4) should verify rotation-symmetric")
+	}
+	ref := &Schedule{N: src.N, D: src.D, S: src.S, Kind: src.Kind}
+	ref.build(func(sl, sw int) Matching { return src.slices[sl][sw] },
+		func(sl, sw int) bool { return sw == 0 })
+	if !rotationClosureRef(ref) {
+		t.Fatal("edge sets should still be rotation-closed")
+	}
+	if ref.Rotation() {
+		t.Fatal("witness survived a rotation-breaking dark set")
+	}
+	if darkClosureRef(ref) {
+		t.Fatal("reference disagrees: dark set should not be closed")
+	}
+}
+
+// TestCirculantOpera: the difference-class Opera keeps the schedule
+// invariants (valid matchings, every pair connected per cycle, connected
+// slice graphs), has cycle length ceil((n/2)/(d/2))·(d/2), and reconfigures
+// exactly one switch pair per boundary.
+func TestCirculantOpera(t *testing.T) {
+	for _, nd := range [][2]int{{8, 4}, {16, 4}, {16, 6}, {32, 4}, {64, 8}} {
+		n, d := nd[0], nd[1]
+		s := Opera(n, d)
+		if !s.Rotation() || s.Kind != "opera" {
+			t.Fatalf("Opera(%d,%d): Rotation=%v Kind=%q", n, d, s.Rotation(), s.Kind)
+		}
+		h := d / 2
+		lp := (n/2 + h - 1) / h
+		if s.S != lp*h {
+			t.Fatalf("Opera(%d,%d).S = %d, want %d", n, d, s.S, lp*h)
+		}
+		for sl := 0; sl < s.S; sl++ {
+			for sw := 0; sw < s.D; sw++ {
+				if err := s.MatchingAt(sl, sw).Validate(); err != nil {
+					t.Fatalf("Opera(%d,%d) slice %d switch %d: %v", n, d, sl, sw, err)
+				}
+				// The reconfiguration unit is the switch pair 2u, 2u+1.
+				want := sl%h == sw/2
+				if s.ReconfiguresAt(sl, sw) != want {
+					t.Fatalf("Opera(%d,%d) slice %d switch %d: reconf %v, want %v",
+						n, d, sl, sw, s.ReconfiguresAt(sl, sw), want)
+				}
+			}
+			if diam := s.SliceGraph(sl).Diameter(); diam < 0 {
+				t.Fatalf("Opera(%d,%d): slice %d graph disconnected", n, d, sl)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && len(s.DirectSlices(i, j)) == 0 {
+					t.Fatalf("Opera(%d,%d): pair (%d,%d) never connected", n, d, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomCirculant: seeded circulant schedules verify the witness, keep
+// connected slices and full pair coverage, reproduce bit-identically per
+// seed, differ across seeds, and reject dimensions without the
+// difference-class construction.
+func TestRandomCirculant(t *testing.T) {
+	a, err := RandomCirculant(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Rotation() || a.Kind != "random-circulant" {
+		t.Fatalf("RandomCirculant(16,4,1): Rotation=%v Kind=%q", a.Rotation(), a.Kind)
+	}
+	if got := rotationClosureRef(a) && darkClosureRef(a); !got {
+		t.Fatal("witness disagrees with closure references")
+	}
+	for sl := 0; sl < a.S; sl++ {
+		if d := a.SliceGraph(sl).Diameter(); d < 0 {
+			t.Fatalf("slice %d graph disconnected", sl)
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < a.N; j++ {
+			if i != j && len(a.DirectSlices(i, j)) == 0 {
+				t.Fatalf("pair (%d,%d) never connected", i, j)
+			}
+		}
+	}
+	b, err := RandomCirculant(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same seed produced different schedules")
+	}
+	c, err := RandomCirculant(16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if _, err := RandomCirculant(10, 4, 1); err == nil {
+		t.Fatal("RandomCirculant(10,4) should reject non-power-of-two n")
+	}
+	if _, err := RandomCirculant(16, 3, 1); err == nil {
+		t.Fatal("RandomCirculant(16,3) should reject odd d")
+	}
+}
+
+// TestScheduleFingerprint: the digest separates dimensions, kinds, matchings
+// and reconfiguration timing, and is stable across rebuilds.
+func TestScheduleFingerprint(t *testing.T) {
+	base := RoundRobin(16, 4)
+	if base.Fingerprint() != RoundRobin(16, 4).Fingerprint() {
+		t.Fatal("rebuild changed the fingerprint")
+	}
+	distinct := map[uint64]string{base.Fingerprint(): "RoundRobin(16,4)"}
+	for _, c := range []struct {
+		name string
+		s    *Schedule
+	}{
+		{"RoundRobin(32,4)", RoundRobin(32, 4)},
+		{"RoundRobin(16,6)", RoundRobin(16, 6)},
+		{"Opera(16,4)", Opera(16, 4)},
+		{"Random(16,4,1)", Random(16, 4, 1)},
+	} {
+		if prev, dup := distinct[c.s.Fingerprint()]; dup {
+			t.Fatalf("%s collides with %s", c.name, prev)
+		}
+		distinct[c.s.Fingerprint()] = c.name
+	}
+	// Same matchings, different reconfiguration timing -> different digest.
+	flipped := &Schedule{N: base.N, D: base.D, S: base.S, Kind: base.Kind}
+	flipped.build(func(sl, sw int) Matching { return base.slices[sl][sw] },
+		func(sl, sw int) bool { return false })
+	if flipped.Fingerprint() == base.Fingerprint() {
+		t.Fatal("reconf flags not covered by the fingerprint")
 	}
 }
 
