@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-scaling scale-smoke
+.PHONY: check vet staticcheck build test race bench bench-offline bench-netsim bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-scaling scale-smoke crash-smoke
 
 check: vet staticcheck build test race
 
@@ -33,7 +33,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/...
 	$(GO) test -race -run 'TestCompiledTableBytesSymmetricVsBrute|TestSymmetricFastPathMatchesGroupPath|TestTableSetEviction|TestCompiledTableAgreesWithRouter|TestCongestionCanonicalMatchesBrute|TestCongestionPickZeroAlloc|TestPackedCodecRoundTrip' ./internal/routing
-	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestDifferentialLazyTables|TestDifferentialCongestionSharded|TestDifferentialWarmFabric|TestCongestionSteeringChangesOutcome|TestTableCacheCapConfig|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
+	$(GO) test -race -run 'TestTrialReplicationDeterminism|TestWorkerCount|TestDifferentialWheelHeap|TestDifferentialSerialSharded|TestDifferentialLazyTables|TestDifferentialCongestionSharded|TestDifferentialWarmFabric|TestDifferentialCheckpointResume|TestResumeMissingCheckpoint|TestResumeCorruptionRejected|TestSweepResume|TestRunTrialsPanicRecovery|TestCongestionSteeringChangesOutcome|TestTableCacheCapConfig|TestShardableGate|TestShardsValidation|TestShardedNonDividing64' ./internal/harness
 
 # bench regenerates the numbers tracked in results/BENCH_*.json: the offline
 # path-set build (results/BENCH_seed.json) and the netsim packet-path
@@ -187,6 +187,40 @@ bench-pr9:
 	$(GO) run ./cmd/benchjson -compare results/BENCH_pr8.json -maxregress 0.10 \
 		-method "make bench-pr9 (warm-fabric cache + circulant Opera; serial hot paths at GOMAXPROCS=1 gated 10% vs results/BENCH_pr8.json; FabricColdVsWarm N=512/1024 at -benchtime 1x)" \
 		< results/bench_pr9_raw.txt > results/BENCH_pr9.json
+
+# bench-pr10 refreshes the checkpoint/restore record: the serial hot paths
+# rerun with checkpointing off, gated at 10% regression against
+# results/BENCH_pr9.json — event tagging and the Attach/Launch split must
+# cost (at most) a few words per event on runs that never snapshot.
+bench-pr10:
+	GOMAXPROCS=1 $(GO) test -run '^$$' \
+		-bench 'BenchmarkSaturation$$|BenchmarkIncast8ToR$$|BenchmarkSaturation64$$|BenchmarkSaturation64Sharded$$|BenchmarkSaturationFailover$$' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/netsim \
+		| tee results/bench_pr10_raw.txt \
+		| $(GO) run ./cmd/benchjson -compare results/BENCH_pr9.json -maxregress 0.10 \
+			-method "GOMAXPROCS=1 make bench-pr10 (deterministic checkpoint/restore; checkpointing-off serial hot paths gated 10% vs results/BENCH_pr9.json)" \
+			> results/BENCH_pr10.json
+
+# crash-smoke is the CI crash-recovery check (DESIGN.md §16): an
+# uninterrupted reference run writes its per-flow CSV; the same
+# configuration restarts with checkpointing on, is SIGKILLed mid-run, is
+# re-invoked with -resume, and the resumed run's per-flow CSV must be
+# byte-identical to the reference. The CSV is the comparable artifact —
+# stdout carries wall-clock timings. The grep asserts a real resume
+# happened (a cold fallback would also produce identical output, but then
+# the smoke would not be testing restore).
+CRASH_FLAGS = -tors 64 -uplinks 4 -duration 20ms -load 0.6 -seed 42
+crash-smoke:
+	rm -rf results/.crash_ckpt results/.crash_ref.csv results/.crash_res.csv results/.crash_sim
+	$(GO) build -o results/.crash_sim ./cmd/ucmpsim
+	./results/.crash_sim $(CRASH_FLAGS) -fctout results/.crash_ref.csv > /dev/null
+	-./results/.crash_sim $(CRASH_FLAGS) -checkpoint-dir results/.crash_ckpt -checkpoint-every 1ms -fctout /dev/null > /dev/null 2>&1 & \
+	pid=$$!; sleep 4; kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; true
+	test -n "$$(ls results/.crash_ckpt)"
+	./results/.crash_sim $(CRASH_FLAGS) -checkpoint-dir results/.crash_ckpt -checkpoint-every 1ms -resume \
+		-fctout results/.crash_res.csv 2>&1 >/dev/null | tee /dev/stderr | grep -q 'resumed at'
+	cmp results/.crash_ref.csv results/.crash_res.csv
+	rm -rf results/.crash_ckpt results/.crash_ref.csv results/.crash_res.csv results/.crash_sim
 
 # scale-smoke is the CI wall-clock budget check at the 512-ToR point of the
 # scaling sweep: the first pass builds the symmetric path set cold, compiles

@@ -85,6 +85,9 @@ func main() {
 		scaleNsF  = flag.String("scale-ns", "", "comma-separated fabric sizes for -exp scale (empty = 108,256,512,1024)")
 		benchFmtF = flag.Bool("benchfmt", false, "emit -exp scale results as `go test -bench` lines on stdout (for cmd/benchjson); the human report moves to stderr")
 		cacheF    = flag.String("fabric-cache", "", "directory for the warm-fabric cache: compiled UCMP fabrics are mmap-loaded from it when present and saved into it after cold builds")
+		ckptDirF  = flag.String("checkpoint-dir", "", "directory for crash-recovery checkpoints: simulations snapshot there every -checkpoint-every of simulated time, and sweeps record completed trials in a sweep book")
+		ckptEvF   = flag.Duration("checkpoint-every", 0, "simulated-time interval between checkpoints (0 = off)")
+		resumeF   = flag.Bool("resume", false, "resume simulations and sweeps from -checkpoint-dir where checkpoints match; anything unmatched falls back to a clean cold run")
 	)
 	flag.Parse()
 	harness.Parallel = *parallelF
@@ -165,7 +168,10 @@ func main() {
 		}
 	}
 
-	r := runner{full: *fullF, seed: *seedF, shards: *shardsF, benchFmt: *benchFmtF, cacheDir: *cacheF}
+	r := runner{
+		full: *fullF, seed: *seedF, shards: *shardsF, benchFmt: *benchFmtF, cacheDir: *cacheF,
+		ckptDir: *ckptDirF, ckptEvery: sim.Time(ckptEvF.Nanoseconds()), resume: *resumeF,
+	}
 	if *scaleNsF != "" {
 		for _, s := range strings.Split(*scaleNsF, ",") {
 			var n int
@@ -219,12 +225,15 @@ func main() {
 }
 
 type runner struct {
-	full     bool
-	seed     int64
-	shards   int
-	benchFmt bool
-	cacheDir string
-	scaleNs  []int
+	full      bool
+	seed      int64
+	shards    int
+	benchFmt  bool
+	cacheDir  string
+	ckptDir   string
+	ckptEvery sim.Time
+	resume    bool
+	scaleNs   []int
 
 	ps *core.PathSet
 }
@@ -253,6 +262,9 @@ func (r *runner) simBase() harness.SimConfig {
 	cfg.Seed = r.seed
 	cfg.Shards = r.shards
 	cfg.FabricCacheDir = r.cacheDir
+	cfg.CheckpointDir = r.ckptDir
+	cfg.CheckpointEvery = r.ckptEvery
+	cfg.Resume = r.resume
 	if r.full {
 		cfg.Duration = 20 * sim.Millisecond
 		cfg.Horizon = 80 * sim.Millisecond

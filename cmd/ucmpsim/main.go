@@ -51,6 +51,9 @@ func main() {
 		flowsF     = flag.String("flows", "", "CSV flow trace to replay instead of the Poisson workload")
 		fctOutF    = flag.String("fctout", "", "write per-flow results to this CSV file")
 		cacheF     = flag.String("fabric-cache", "", "directory for the warm-fabric cache: the compiled UCMP fabric is mmap-loaded from it when present and saved into it after a cold build")
+		ckptDirF   = flag.String("checkpoint-dir", "", "directory for crash-recovery checkpoints; with -checkpoint-every, the full simulation state is snapshotted there periodically")
+		ckptEvF    = flag.Duration("checkpoint-every", 0, "simulated-time interval between checkpoints (0 = off)")
+		resumeF    = flag.Bool("resume", false, "resume from the checkpoint in -checkpoint-dir if one matches this configuration; falls back to a clean cold run otherwise")
 	)
 	flag.Parse()
 
@@ -69,6 +72,10 @@ func main() {
 		SampleEvery:  500 * sim.Microsecond,
 
 		FabricCacheDir: *cacheF,
+
+		CheckpointDir:   *ckptDirF,
+		CheckpointEvery: sim.Time(ckptEvF.Nanoseconds()),
+		Resume:          *resumeF,
 	}
 	if *paper {
 		cfg.Topo = topo.PaperDefault()
@@ -122,6 +129,9 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if res.ResumeNote != "" {
+		fmt.Fprintf(os.Stderr, "ucmpsim: checkpoint: %s\n", res.ResumeNote)
+	}
 	fmt.Printf("ucmpsim: %s + %s on %s (%d ToRs, %d hosts, load %.0f%%)\n",
 		*routingF, *transportF, *workloadF, cfg.Topo.NumToRs, cfg.Topo.NumHosts(), *loadF*100)
 	fmt.Printf("flows: %d launched, %.1f%% completed  (wall %.1fs)\n",

@@ -37,6 +37,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"ucmp/internal/core"
 	"ucmp/internal/routing"
@@ -179,7 +181,7 @@ func Save(path string, ps *core.PathSet, table *routing.CompiledTable) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ucmpfab-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), tempPrefix+"*")
 	if err != nil {
 		return err
 	}
@@ -193,6 +195,38 @@ func Save(path string, ps *core.PathSet, table *routing.CompiledTable) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// tempPrefix names the atomic-write staging files Save creates next to the
+// cache file; staleTempAge is how old such a file must be before cleanup
+// treats it as the debris of a crashed writer rather than a save in flight.
+const (
+	tempPrefix   = ".ucmpfab-"
+	staleTempAge = 10 * time.Minute
+)
+
+// cleanStaleTemps removes staging files a crashed or killed Save left
+// behind. Called from Load (the "next open" of the cache directory), it
+// never touches a temp younger than staleTempAge — a concurrent Save may
+// still be writing it — and every failure is ignored: cleanup is hygiene,
+// not correctness.
+func cleanStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), tempPrefix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if time.Since(info.ModTime()) >= staleTempAge {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // Options tunes Load.
@@ -213,6 +247,7 @@ type Options struct {
 // structural defect in the payload — is an error and never a partial or
 // wrong fabric. The caller owns the returned handle (see package comment).
 func Load(path string, fab *topo.Fabric, p Params, opt Options) (*Fabric, error) {
+	cleanStaleTemps(filepath.Dir(path))
 	data, mapped, err := readFile(path, opt.NoMmap)
 	if err != nil {
 		return nil, err

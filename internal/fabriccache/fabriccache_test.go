@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"time"
 	"testing"
 
 	"ucmp/internal/core"
@@ -208,4 +209,72 @@ func FuzzLoad(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestSaveUnwritableDegrades: Save into an unwritable location returns an
+// error (never a panic, never a partial cache file) — the harness warm path
+// turns that into a warning plus a cold build.
+func TestSaveUnwritableDegrades(t *testing.T) {
+	fab := testFabric(t, "round-robin", 16, 4)
+	p := Params{Alpha: 0.5}
+	ps, table := compile(t, fab, p)
+
+	// A regular file where the cache directory should be: MkdirAll fails
+	// with ENOTDIR on every platform, even running as root (where a chmod'd
+	// read-only directory would not block writes).
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(blocker, "sub", "fabric.ucmpfab")
+	if err := Save(path, ps, table); err == nil {
+		t.Fatal("Save into an unwritable path succeeded")
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("partial cache file left behind")
+	}
+}
+
+// TestStaleTempCleanup: staging files left by a crashed Save are removed on
+// the next Load of the directory; fresh ones (a Save possibly in flight)
+// are left alone, and the cache file itself still loads.
+func TestStaleTempCleanup(t *testing.T) {
+	fab := testFabric(t, "round-robin", 16, 4)
+	p := Params{Alpha: 0.5}
+	ps, table := compile(t, fab, p)
+
+	dir := t.TempDir()
+	path := FileName(dir, fab, p)
+	if err := Save(path, ps, table); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, tempPrefix+"stale123")
+	fresh := filepath.Join(dir, tempPrefix+"fresh456")
+	for _, f := range []string{stale, fresh} {
+		if err := os.WriteFile(f, []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	wf, err := Load(path, fab, p, Options{NoMmap: true, NoAlias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived Load: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp was removed: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache file itself was touched: %v", err)
+	}
 }

@@ -135,6 +135,22 @@ type SimConfig struct {
 	// Result.Sharded and Result.Shards report which engine ran and how
 	// wide. 0 or 1 selects the serial engine.
 	Shards int
+
+	// CheckpointDir, together with CheckpointEvery > 0, writes a full
+	// simulation snapshot (DESIGN.md §16) at every multiple of
+	// CheckpointEvery, one file per distinct configuration, overwritten in
+	// place with the atomic temp+rename discipline. Checkpoint instants do
+	// not perturb the run: a checkpointing run is bit-identical to a plain
+	// one. A failed write degrades to a stderr warning; the run continues.
+	CheckpointDir   string
+	CheckpointEvery sim.Time
+
+	// Resume, with CheckpointDir set, restores the configuration's
+	// checkpoint before running and continues from its instant — the
+	// combined run is bit-identical to an uninterrupted one. A missing,
+	// corrupted, version-mismatched, or foreign-config checkpoint falls
+	// back to a clean cold run, recorded in Result.ResumeNote.
+	Resume bool
 }
 
 // Shardable reports whether a configuration can run on the sharded engine,
@@ -212,13 +228,85 @@ type Result struct {
 	// Recovery is the §5.3 online-recovery summary (all-zero when no
 	// failures were configured).
 	Recovery metrics.RecoveryStats
+	// ResumeNote records checkpoint/resume outcomes: the restored instant
+	// on a successful resume, why a requested resume fell back to a cold
+	// run, or why checkpoint writing was disabled. Empty for plain runs.
+	ResumeNote string
+	// TrialPanic, set by RunTrials, records a panic (message and stack)
+	// that aborted this trial; the zero-value Result fields accompany it.
+	TrialPanic string
+	// SweepLine, set by RunTrials when a resumed sweep finds this trial
+	// already completed in the sweep book, is the trial's recorded summary
+	// line. The simulation was not re-run: the other fields are zero apart
+	// from Config, Collector, and ResumeNote.
+	SweepLine string
 }
 
 // Bins groups the run's FCTs with the default flow-size bins.
 func (r *Result) Bins() []metrics.BinStat { return r.Collector.BySize(metrics.DefaultBins()) }
 
+// simState is one fully wired simulation: engines, network, transport
+// stack, collector, and workload, ready to run (cold) or to restore a
+// checkpoint into (resume).
+type simState struct {
+	cfg       SimConfig
+	eng       *sim.Engine
+	sh        *sim.ShardedEngine
+	net       *netsim.Network
+	stack     *transport.Stack
+	col       *metrics.Collector
+	flows     []*netsim.Flow
+	sharded   bool
+	shards    int
+	shardNote string
+	horizon   sim.Time
+}
+
 // Run executes the simulation.
 func Run(cfg SimConfig) (*Result, error) {
+	var st *simState
+	var resumeNote string
+	resumed := false
+	if cfg.Resume {
+		if cfg.CheckpointDir == "" {
+			resumeNote = "cold run: Resume set without CheckpointDir"
+		} else {
+			rst, err := buildSim(cfg, true)
+			if err != nil {
+				return nil, err
+			}
+			at, rerr := rst.restoreCheckpoint()
+			if rerr != nil {
+				// The half-restored network is undefined; discard it and
+				// fall through to a clean cold build.
+				resumeNote = fmt.Sprintf("cold run: %v", rerr)
+			} else {
+				st = rst
+				resumed = true
+				resumeNote = fmt.Sprintf("resumed at %v", at)
+			}
+		}
+	}
+	if st == nil {
+		var err error
+		st, err = buildSim(cfg, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := st.run(resumed)
+	if res.ResumeNote == "" {
+		res.ResumeNote = resumeNote
+	} else if resumeNote != "" {
+		res.ResumeNote = resumeNote + "; " + res.ResumeNote
+	}
+	return res, nil
+}
+
+// buildSim wires a simulation. With forRestore set, flows are attached but
+// not scheduled and the slice-boundary clock is not armed: every pending
+// event then comes from the checkpoint replay in restoreCheckpoint.
+func buildSim(cfg SimConfig, forRestore bool) (*simState, error) {
 	schedKind := cfg.ScheduleKind
 	if schedKind == "" {
 		schedKind = ScheduleFor(cfg.Routing)
@@ -333,7 +421,9 @@ func Run(cfg SimConfig) (*Result, error) {
 		}
 	}
 
-	net.Start()
+	if !forRestore {
+		net.Start()
+	}
 
 	flows := cfg.Flows
 	if flows == nil {
@@ -360,7 +450,11 @@ func Run(cfg SimConfig) (*Result, error) {
 
 	stack := transport.NewStack(net, cfg.Transport)
 	for _, f := range flows {
-		stack.Launch(f)
+		if forRestore {
+			stack.Attach(f)
+		} else {
+			stack.Launch(f)
+		}
 	}
 
 	horizon := cfg.Horizon
@@ -370,42 +464,76 @@ func Run(cfg SimConfig) (*Result, error) {
 			horizon = 20 * sim.Millisecond
 		}
 	}
+	return &simState{
+		cfg: cfg, eng: eng, sh: sh, net: net, stack: stack, col: col,
+		flows: flows, sharded: sharded, shards: shards, shardNote: shardNote,
+		horizon: horizon,
+	}, nil
+}
+
+// run executes the wired simulation to its horizon — writing checkpoints
+// along the way when configured — and aggregates the result. resumed tells
+// it the sampling chains were restored rather than needing a cold arm.
+func (st *simState) run(resumed bool) *Result {
+	cfg := st.cfg
+	ckptKey, ckptNote := "", ""
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery > 0 {
+		if cfg.Transport == transport.MPTCP {
+			ckptNote = "checkpointing disabled: mptcp transport is not serializable"
+		} else {
+			ckptKey = configKey(cfg, st.flows)
+		}
+	}
 	var events uint64
-	if sharded {
-		if cfg.SampleEvery > 0 {
-			col.StartSamplingSharded(net, sh, cfg.SampleEvery, horizon)
+	if st.sharded {
+		if cfg.SampleEvery > 0 && !resumed {
+			st.col.StartSamplingSharded(st.net, st.sh, cfg.SampleEvery, st.horizon)
 		}
-		sh.Run(horizon)
-		net.FinalizeSharded()
-		events = sh.Processed()
-		recordSchedStats(sh.SchedStats())
-		recordShardStats(sh.Stats())
+		if ckptKey != "" {
+			st.armCheckpoints(ckptKey)
+		}
+		st.sh.Run(st.horizon)
+		st.net.FinalizeSharded()
+		events = st.sh.Processed()
+		recordSchedStats(st.sh.SchedStats())
+		recordShardStats(st.sh.Stats())
 	} else {
-		if cfg.SampleEvery > 0 {
-			col.StartSampling(net, cfg.SampleEvery, horizon)
+		if cfg.SampleEvery > 0 && !resumed {
+			st.col.StartSampling(st.net, cfg.SampleEvery, st.horizon)
 		}
-		eng.Run(horizon)
-		events = eng.Processed()
-		recordSchedStats(eng.SchedStats())
+		if ckptKey != "" {
+			// Segmented run: stop at each checkpoint instant with the event
+			// queue intact and snapshot. No checkpoint event ever enters the
+			// engine, so the run is bit-identical to an unsegmented one.
+			every := cfg.CheckpointEvery
+			for t := (st.eng.Now()/every + 1) * every; t < st.horizon; t += every {
+				st.eng.Run(t)
+				st.writeCheckpoint(ckptKey)
+			}
+		}
+		st.eng.Run(st.horizon)
+		events = st.eng.Processed()
+		recordSchedStats(st.eng.SchedStats())
 	}
 	eventsProcessed.Add(events)
 
 	return &Result{
 		Config:         cfg,
-		Collector:      col,
-		Counters:       net.Counters,
-		Efficiency:     net.BandwidthEfficiency(),
-		ReroutedFrac:   net.ReroutedFraction(),
-		CompletionRate: col.CompletionRate(),
-		Launched:       len(flows),
+		Collector:      st.col,
+		Counters:       st.net.Counters,
+		Efficiency:     st.net.BandwidthEfficiency(),
+		ReroutedFrac:   st.net.ReroutedFraction(),
+		CompletionRate: st.col.CompletionRate(),
+		Launched:       len(st.flows),
 		Events:         events,
-		Sharded:        sharded,
-		Shards:         shards,
-		ShardNote:      shardNote,
-		JainCumulative: net.JainCumulative(),
-		Flows:          net.Flows(),
-		Recovery:       metrics.Recovery(net.Counters),
-	}, nil
+		Sharded:        st.sharded,
+		Shards:         st.shards,
+		ShardNote:      st.shardNote,
+		JainCumulative: st.net.JainCumulative(),
+		Flows:          st.net.Flows(),
+		Recovery:       metrics.Recovery(st.net.Counters),
+		ResumeNote:     ckptNote,
+	}
 }
 
 // compileFailures folds the config's fault knobs — the static LinkFailFrac

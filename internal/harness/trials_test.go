@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -78,5 +79,101 @@ func TestWorkerCount(t *testing.T) {
 	Workers = 0
 	if got := workerCount(1); got != 1 {
 		t.Fatalf("workerCount(1) unbounded: %d", got)
+	}
+}
+
+// A panicking trial degrades to a PANIC line carrying its derived seed and
+// stack; every other trial still completes (the injected bogus transport
+// panics inside the simulation build).
+func TestRunTrialsPanicRecovery(t *testing.T) {
+	_, trials := sweepForTest()
+	trials[1].Cfg.Transport = "bogus"
+	res, err := RunTrials(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].TrialPanic == "" {
+		t.Fatal("injected panic was not recorded")
+	}
+	if want := fmt.Sprintf("seed %d", trials[1].Cfg.Seed); !strings.Contains(res[1].TrialPanic, want) {
+		t.Fatalf("panic record missing derived seed %q:\n%s", want, res[1].TrialPanic)
+	}
+	if !strings.Contains(res[1].TrialPanic, "goroutine") {
+		t.Fatalf("panic record missing stack:\n%s", res[1].TrialPanic)
+	}
+	for i, r := range res {
+		if i == 1 {
+			continue
+		}
+		if r == nil || r.TrialPanic != "" || len(r.Collector.Flows) == 0 {
+			t.Fatalf("trial %d did not survive the neighboring panic: %+v", i, r)
+		}
+	}
+	sum := SummarizeTrials(trials, res)
+	if !strings.Contains(sum, "PANIC") {
+		t.Fatalf("summary missing PANIC line:\n%s", sum)
+	}
+	if got := strings.Count(sum, "\n"); got != len(trials) {
+		t.Fatalf("summary has %d lines, want %d:\n%s", got, len(trials), sum)
+	}
+}
+
+// A killed sweep restarts mid-sweep: trials recorded in the sweep book are
+// restored without re-running, the rest simulate, and the aggregated output
+// is byte-identical to an uninterrupted sweep.
+func TestSweepResume(t *testing.T) {
+	_, plain := sweepForTest()
+	plainRes, err := RunTrials(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SummarizeTrials(plain, plainRes)
+
+	dir := t.TempDir()
+	_, trials := sweepForTest()
+	for i := range trials {
+		trials[i].Cfg.CheckpointDir = dir
+		trials[i].Cfg.Resume = true
+	}
+	// Simulate a sweep killed after two trials: complete them by hand into
+	// the book the resumed sweep will open.
+	book := openSweepBook(trials)
+	for i := 0; i < 2; i++ {
+		r, err := runTrial(trials[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		book.record(trials[i], r)
+	}
+
+	res, err := RunTrials(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		restored := r.SweepLine != ""
+		if i < 2 && !restored {
+			t.Fatalf("trial %d re-ran instead of restoring from the sweep book", i)
+		}
+		if i >= 2 && restored {
+			t.Fatalf("trial %d restored from a book that never recorded it", i)
+		}
+	}
+	if got := SummarizeTrials(trials, res); got != want {
+		t.Fatalf("resumed sweep diverged:\n--- uninterrupted ---\n%s--- resumed ---\n%s", want, got)
+	}
+
+	// A second resume restores everything.
+	res2, err := RunTrials(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res2 {
+		if r.SweepLine == "" {
+			t.Fatalf("trial %d re-ran on a fully-recorded sweep", i)
+		}
+	}
+	if got := SummarizeTrials(trials, res2); got != want {
+		t.Fatal("fully-restored sweep summary diverged")
 	}
 }

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"os"
 	"sync"
 
 	"ucmp/internal/core"
@@ -56,8 +58,11 @@ func warmPathSet(fab *topo.Fabric, cfg SimConfig) (*core.PathSet, *routing.Compi
 		return ps, nil, false
 	}
 	table := routing.CompileTable(ps, core.NewFlowAger(ps), 0)
-	// Best-effort: a read-only cache dir degrades to cold builds, not errors.
-	_ = fabriccache.Save(path, ps, table)
+	// Best-effort: a full disk or read-only cache dir degrades to cold
+	// builds with a warning, not errors — the cold result is still correct.
+	if err := fabriccache.Save(path, ps, table); err != nil {
+		fmt.Fprintf(os.Stderr, "harness: fabric cache not written: %v\n", err)
+	}
 	warmFabrics.m[path] = &fabriccache.Fabric{PS: ps, Table: table}
 	return ps, table, false
 }

@@ -1,0 +1,99 @@
+// Collector checkpointing: the "metrics" section stores the accumulated
+// flow-completion records, fabric samples, and the launched count. The
+// serial sampling tick is a tagged engine event replayed through
+// SamplingRestorer; the sharded tick is a coordinator global event that
+// checkpoints cannot capture, so ResumeSamplingSharded re-derives it from
+// the sample count (ticks fire at every, 2*every, ...).
+package metrics
+
+import (
+	"fmt"
+
+	"ucmp/internal/checkpoint"
+	"ucmp/internal/netsim"
+	"ucmp/internal/sim"
+)
+
+// Snapshot writes the collector's accumulated records.
+func (c *Collector) Snapshot(w *checkpoint.Writer) {
+	enc := w.Section("metrics")
+	enc.U64(uint64(c.launched))
+	enc.Len(len(c.Flows))
+	for _, fr := range c.Flows {
+		enc.I64(fr.Size)
+		enc.I64(int64(fr.FCT))
+		enc.Bool(fr.Rotor)
+		enc.Bool(fr.Priority)
+	}
+	enc.Len(len(c.Samples))
+	for _, s := range c.Samples {
+		enc.I64(int64(s.At))
+		enc.F64(s.TorToHostUtil)
+		enc.F64(s.HostToTorUtil)
+		enc.F64(s.TorToTorUtil)
+		enc.F64(s.JainQueueIndex)
+		enc.F64(s.JainLoadIndex)
+	}
+}
+
+// RestoreState refills the collector from the "metrics" section.
+func (c *Collector) RestoreState(f *checkpoint.File) error {
+	dec, err := f.Section("metrics")
+	if err != nil {
+		return err
+	}
+	c.launched = int(dec.U64())
+	nf := dec.Len()
+	c.Flows = c.Flows[:0]
+	for i := 0; i < nf; i++ {
+		var fr FlowRecord
+		fr.Size = dec.I64()
+		fr.FCT = sim.Time(dec.I64())
+		fr.Rotor = dec.Bool()
+		fr.Priority = dec.Bool()
+		c.Flows = append(c.Flows, fr)
+	}
+	ns := dec.Len()
+	c.Samples = c.Samples[:0]
+	for i := 0; i < ns; i++ {
+		var s netsim.Sample
+		s.At = sim.Time(dec.I64())
+		s.TorToHostUtil = dec.F64()
+		s.HostToTorUtil = dec.F64()
+		s.TorToTorUtil = dec.F64()
+		s.JainQueueIndex = dec.F64()
+		s.JainLoadIndex = dec.F64()
+		c.Samples = append(c.Samples, s)
+	}
+	return dec.Err()
+}
+
+// SamplingRestorer returns the netsim.RestoreExt handler for the serial
+// sampling tick: it rebuilds the tick closure over this collector and
+// re-schedules the checkpoint's pending occurrence. every and until must
+// match the sampling parameters of the checkpointed run.
+func (c *Collector) SamplingRestorer(n *netsim.Network, every, until sim.Time) netsim.RestoreExt {
+	return func(eng *sim.Engine, at sim.Time, tag sim.EventTag, timer, armed bool, deadline sim.Time) error {
+		if tag.Kind != checkpoint.KindSample || timer {
+			return fmt.Errorf("checkpoint: metrics cannot restore event kind %d (timer=%v)", tag.Kind, timer)
+		}
+		if eng != n.Eng {
+			return fmt.Errorf("checkpoint: sampling tick on a non-serial engine")
+		}
+		eng.AtTag(at, tag, c.serialTick(n, every, until))
+		return nil
+	}
+}
+
+// ResumeSamplingSharded re-arms the sharded sampling chain after a restore.
+// Global events live on the coordinator, outside any domain engine, so they
+// are absent from checkpoints; the next tick is (len(Samples)+1)*every —
+// which also handles a sample due exactly at the checkpoint instant that
+// had not yet run (the derived time equals the restored global now).
+func (c *Collector) ResumeSamplingSharded(n *netsim.Network, sh *sim.ShardedEngine, every, until sim.Time) {
+	next := sim.Time(len(c.Samples)+1) * every
+	if next > until {
+		return
+	}
+	sh.Global(next, c.shardedTick(n, sh, every, until))
+}

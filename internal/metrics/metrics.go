@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 )
@@ -52,17 +53,26 @@ func (c *Collector) CompletionRate() float64 {
 
 // StartSampling arms periodic fabric sampling until the horizon.
 func (c *Collector) StartSampling(n *netsim.Network, every, until sim.Time) {
-	var prev *netsim.Sample
+	tick := c.serialTick(n, every, until)
+	n.Eng.AtTag(n.Eng.Now()+every, sim.EventTag{Kind: checkpoint.KindSample}, tick)
+}
+
+// serialTick builds the serial sampling closure. It carries no loop state of
+// its own (the previous sample is read back from Samples), so a checkpoint
+// restore can rebuild it and replay the pending tick event verbatim.
+func (c *Collector) serialTick(n *netsim.Network, every, until sim.Time) func() {
 	var tick func()
 	tick = func() {
-		s := n.TakeSample(prev)
-		c.Samples = append(c.Samples, s)
-		prev = &c.Samples[len(c.Samples)-1]
-		if n.Eng.Now()+every <= until {
-			n.Eng.After(every, tick)
+		var prev *netsim.Sample
+		if len(c.Samples) > 0 {
+			prev = &c.Samples[len(c.Samples)-1]
+		}
+		c.Samples = append(c.Samples, n.TakeSample(prev))
+		if next := n.Eng.Now() + every; next <= until {
+			n.Eng.AtTag(next, sim.EventTag{Kind: checkpoint.KindSample}, tick)
 		}
 	}
-	n.Eng.After(every, tick)
+	return tick
 }
 
 // StartSamplingSharded arms periodic fabric sampling on a sharded engine.
@@ -73,17 +83,24 @@ func (c *Collector) StartSampling(n *netsim.Network, every, until sim.Time) {
 // FinalizeSharded), so sharded samples are byte-rate-accurate but not
 // counter-exact; the per-port byte meters it reads are exact.
 func (c *Collector) StartSamplingSharded(n *netsim.Network, sh *sim.ShardedEngine, every, until sim.Time) {
-	var prev *netsim.Sample
+	sh.Global(every, c.shardedTick(n, sh, every, until))
+}
+
+// shardedTick builds the sharded sampling closure; like serialTick it keeps
+// no private loop state, so ResumeSamplingSharded can re-arm the chain.
+func (c *Collector) shardedTick(n *netsim.Network, sh *sim.ShardedEngine, every, until sim.Time) func() {
 	var tick func()
 	tick = func() {
-		s := n.TakeSample(prev)
-		c.Samples = append(c.Samples, s)
-		prev = &c.Samples[len(c.Samples)-1]
+		var prev *netsim.Sample
+		if len(c.Samples) > 0 {
+			prev = &c.Samples[len(c.Samples)-1]
+		}
+		c.Samples = append(c.Samples, n.TakeSample(prev))
 		if next := sh.GlobalNow() + every; next <= until {
 			sh.Global(next, tick)
 		}
 	}
-	sh.Global(every, tick)
+	return tick
 }
 
 // BinStat aggregates FCTs of flows within one size bin.

@@ -45,6 +45,12 @@ type Flow struct {
 // FCT returns the flow completion time, valid once Finished.
 func (f *Flow) FCT() sim.Time { return f.FinishedAt - f.Arrival }
 
+// Dense returns the dense index assigned at registration (-1 before). It is
+// the flow's identity inside checkpoint files: dense indices are assigned in
+// registration order, which the deterministic workload regeneration on a
+// resume reproduces exactly.
+func (f *Flow) Dense() int { return f.dense }
+
 // hashID derives a deterministic 64-bit hash from a flow identity
 // (splitmix64 over the ID and endpoints), standing in for the 5-tuple hash.
 func hashID(id int64, src, dst int) uint64 {

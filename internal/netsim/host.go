@@ -24,7 +24,7 @@ func newHost(n *Network, id int, dom *domain) *Host {
 		dom:  dom,
 		id:   id,
 		tor:  tor,
-		port: &hostPort{net: n, dom: dom, tor: tor},
+		port: &hostPort{net: n, dom: dom, host: id, tor: tor},
 	}
 	h.port.pumpFn = h.port.pump
 	h.recvFn = func(a any) { h.receive(a.(*Packet)) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/sim"
 	"ucmp/internal/topo"
 )
@@ -195,6 +196,10 @@ type Network struct {
 	// per-packet hot path skips the 64-bit division in SerializationDelay.
 	serMTU, serHdr     sim.Time
 	serUpMTU, serUpHdr sim.Time
+
+	// restoredWaiters buffers the RotorLB credit callbacks decoded from a
+	// checkpoint until the transport re-parks them (checkpoint.go).
+	restoredWaiters []RestoredRotorWaiter
 }
 
 // New wires up a serial network. Call Start before Run to arm the slice
@@ -296,7 +301,7 @@ func (n *Network) HostToR(host int) int { return host / n.F.HostsPerToR }
 // global state every ToR derives locally from its own virtual time).
 func (n *Network) Start() {
 	for _, d := range n.doms {
-		d.eng.At(0, d.boundaryFn)
+		d.eng.AtTag(0, sim.EventTag{Kind: checkpoint.KindBoundary, A: int32(d.id)}, d.boundaryFn)
 	}
 }
 
@@ -316,7 +321,7 @@ func (n *Network) sliceBoundaryFor(d *domain) {
 	for _, tor := range d.tors {
 		tor.onSliceStart(abs, expired)
 	}
-	d.eng.At(n.F.SliceStart(abs+1), d.boundaryFn)
+	d.eng.AtTag(n.F.SliceStart(abs+1), sim.EventTag{Kind: checkpoint.KindBoundary, A: int32(d.id)}, d.boundaryFn)
 }
 
 // simNow returns the observation clock: the serial engine's time, or the

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/sim"
 )
 
@@ -78,8 +79,10 @@ func (d *downPort) pump() {
 	d.meter.add(int64(p.WireLen))
 	d.dom.ctr.TorToHostBytes += int64(p.WireLen)
 	host := d.net.Hosts[d.host]
-	d.dom.eng.At1(now+ser+d.net.F.HostPropDelay, host.recvFn, p)
-	d.dom.eng.At(d.busyUntil, d.pumpFn)
+	d.dom.eng.At1Tag(now+ser+d.net.F.HostPropDelay,
+		sim.EventTag{Kind: checkpoint.KindDeliverHost, A: int32(d.host)}, host.recvFn, p)
+	d.dom.eng.AtTag(d.busyUntil,
+		sim.EventTag{Kind: checkpoint.KindPumpDown, A: int32(d.host)}, d.pumpFn)
 }
 
 func (d *downPort) takeBytes() int64 { return d.meter.take() }
@@ -97,6 +100,7 @@ const anonQueue = -1
 type hostPort struct {
 	net       *Network
 	dom       *domain
+	host      int // global host id (checkpoint identity of the pump event)
 	tor       int
 	busyUntil sim.Time
 	meter     byteMeter
@@ -187,8 +191,10 @@ func (h *hostPort) pump() {
 	h.meter.add(int64(p.WireLen))
 	h.dom.ctr.HostToTorBytes += int64(p.WireLen)
 	tor := h.net.ToRs[h.tor]
-	h.dom.eng.At1(now+ser+h.net.F.HostPropDelay, tor.recvHostFn, p)
-	h.dom.eng.At(h.busyUntil, h.pumpFn)
+	h.dom.eng.At1Tag(now+ser+h.net.F.HostPropDelay,
+		sim.EventTag{Kind: checkpoint.KindRecvHost, A: int32(h.tor)}, tor.recvHostFn, p)
+	h.dom.eng.AtTag(h.busyUntil,
+		sim.EventTag{Kind: checkpoint.KindPumpHost, A: int32(h.host)}, h.pumpFn)
 }
 
 func (h *hostPort) takeBytes() int64 { return h.meter.take() }
@@ -228,7 +234,8 @@ type uplinkPort struct {
 
 func newUplinkPort(n *Network, tor *ToR, sw int) *uplinkPort {
 	u := &uplinkPort{net: n, tor: tor, sw: sw}
-	u.wake = tor.dom.eng.NewTimer(u.pump)
+	u.wake = tor.dom.eng.NewTimerTag(
+		sim.EventTag{Kind: checkpoint.KindWakeUplink, A: int32(tor.id), B: int32(sw)}, u.pump)
 	u.cal = make([]Queue, n.F.Sched.S)
 	for i := range u.cal {
 		u.cal[i].MaxDataPackets = n.UpQueue.MaxDataPackets
@@ -328,13 +335,14 @@ func (u *uplinkPort) pump() {
 	at := now + ser + u.net.F.PropDelay
 	u.tor.linkSeq++
 	p.linkSrc, p.linkSeq = int32(u.tor.id), u.tor.linkSeq
+	tag := sim.EventTag{Kind: checkpoint.KindIngress, A: int32(peer)}
 	if sh := u.net.sharded; sh != nil && dst.dom != u.tor.dom {
 		// Cross-domain arrival: route through the sharded engine's mailbox.
 		// ser ≥ uplink header serialization, so at ≥ now + ShardLookahead and
 		// the lookahead assertion in Send holds for every packet size.
-		sh.Send(u.tor.dom.id, dst.dom.id, at, dst.ingressFn, p)
+		sh.SendTag(u.tor.dom.id, dst.dom.id, at, tag, dst.ingressFn, p)
 	} else {
-		u.tor.dom.eng.At1(at, dst.ingressFn, p)
+		u.tor.dom.eng.At1Tag(at, tag, dst.ingressFn, p)
 	}
 	u.wakeAt(u.busyUntil)
 }

@@ -36,11 +36,19 @@ type rotorState struct {
 	localPkts    int
 	nonlocalPkts int
 
-	// waiters are one-shot host callbacks awaiting local-VOQ credit.
-	waiters [][]func()
+	// waiters are one-shot host callbacks awaiting local-VOQ credit, each
+	// tagged with the waiting flow so checkpoints can name it.
+	waiters [][]rotorWaiter
 
 	// rr rotates the indirect destination scan for fairness.
 	rr int
+}
+
+// rotorWaiter is one parked credit callback: the flow whose sender is
+// waiting (its dense index is what a checkpoint records) and the callback.
+type rotorWaiter struct {
+	f  *Flow
+	fn func()
 }
 
 func newRotorState(t *ToR) *rotorState {
@@ -51,7 +59,7 @@ func newRotorState(t *ToR) *rotorState {
 		nonlocal:      make([]fifo, n),
 		localBytes:    make([]int64, n),
 		nonlocalBytes: make([]int64, n),
-		waiters:       make([][]func(), n),
+		waiters:       make([][]rotorWaiter, n),
 	}
 }
 
@@ -151,8 +159,8 @@ func (r *rotorState) creditLocal(dst int, p *Packet) {
 	if r.localBytes[dst] < r.tor.net.Rotor.LocalCapBytes && len(r.waiters[dst]) > 0 {
 		ws := r.waiters[dst]
 		r.waiters[dst] = nil
-		for _, fn := range ws {
-			fn()
+		for _, w := range ws {
+			w.fn()
 		}
 	}
 }

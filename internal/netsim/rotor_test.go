@@ -104,7 +104,7 @@ func TestRotorCreditAndWaiters(t *testing.T) {
 		t.Fatal("credit despite full VOQ")
 	}
 	fired := false
-	tor.RotorNotify(dst, func() { fired = true })
+	tor.RotorNotify(dst, nil, func() { fired = true })
 	if p := tor.rotor.selectPacket(dst, fitsAll, 0); p == nil {
 		t.Fatal("drain failed")
 	}

@@ -1,6 +1,9 @@
 package netsim
 
-import "ucmp/internal/sim"
+import (
+	"ucmp/internal/checkpoint"
+	"ucmp/internal/sim"
+)
 
 // ToR is a top-of-rack switch: HostsPerToR downlink ports, Uplinks
 // circuit-facing ports with calendar queues, optional RotorLB VOQs, and the
@@ -160,7 +163,7 @@ func (t *ToR) ingressArrive(p *Packet) {
 	t.ingress = append(t.ingress, p)
 	if !t.ingressArmed {
 		t.ingressArmed = true
-		t.dom.eng.At(t.dom.eng.Now(), t.flushFn)
+		t.dom.eng.AtTag(t.dom.eng.Now(), sim.EventTag{Kind: checkpoint.KindFlush, A: int32(t.id)}, t.flushFn)
 	}
 }
 
@@ -387,13 +390,15 @@ func (t *ToR) RotorHasCredit(dstToR int) bool {
 }
 
 // RotorNotify registers a one-shot callback fired when credit toward
-// dstToR becomes available.
-func (t *ToR) RotorNotify(dstToR int, fn func()) {
+// dstToR becomes available. The waiting flow identifies the callback in
+// checkpoints (the closure itself cannot be serialized; a restore re-parks
+// the flow's sender through this same call).
+func (t *ToR) RotorNotify(dstToR int, f *Flow, fn func()) {
 	if t.rotor == nil {
 		fn()
 		return
 	}
-	t.rotor.waiters[dstToR] = append(t.rotor.waiters[dstToR], fn)
+	t.rotor.waiters[dstToR] = append(t.rotor.waiters[dstToR], rotorWaiter{f: f, fn: fn})
 }
 
 // currentAbs is a small helper for rotor code.

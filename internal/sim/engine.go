@@ -67,6 +67,36 @@ type event struct {
 	fn   func()
 	fn1  func(any)
 	arg  any
+	tag  EventTag
+}
+
+// EventTag is a pure-data description of what a scheduled closure does, so a
+// checkpoint can re-encode pending events as descriptors and rebuild the
+// closures on restore. Kind 0 means untagged: the event works normally but a
+// checkpoint that finds one pending refuses to snapshot (it cannot promise to
+// rebuild a closure it cannot name). A and B are model-defined operands
+// (component ids); any richer payload (a packet) travels through the event's
+// arg and is serialized by the owning layer.
+type EventTag struct {
+	Kind uint8
+	A, B int32
+}
+
+// EventDesc is one pending event re-encoded for a checkpoint: the closure is
+// gone, only its tag, firing time, and argument remain. For timer events the
+// descriptor captures the full occurrence — when the queued event surfaces
+// (At), the timer's current deadline, and whether it is armed — so a restore
+// reproduces the lazy-deletion state machine exactly (a canceled-but-queued
+// occurrence must survive so a later Reset chase-reuses it just as the
+// uninterrupted run would).
+type EventDesc struct {
+	At  Time
+	Tag EventTag
+	Arg any // fn1 argument (nil for plain closures and timers)
+
+	Timer    bool
+	Armed    bool // timer armed flag at snapshot time
+	Deadline Time // timer deadline (fires then if armed), when Timer
 }
 
 // QueueKind selects the scheduler implementation backing an Engine.
@@ -228,6 +258,98 @@ func (e *Engine) At1(t Time, fn func(any), arg any) {
 
 // After1 schedules fn(arg) d nanoseconds from now.
 func (e *Engine) After1(d Time, fn func(any), arg any) { e.At1(e.now+d, fn, arg) }
+
+// AtTag schedules fn at absolute time t with a checkpoint tag describing it.
+func (e *Engine) AtTag(t Time, tag EventTag, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn: fn, tag: tag})
+}
+
+// At1Tag schedules fn(arg) at absolute time t with a checkpoint tag.
+func (e *Engine) At1Tag(t Time, tag EventTag, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn1: fn, arg: arg, tag: tag})
+}
+
+// SnapshotEvents drains the queue, re-encodes every pending event as an
+// EventDesc in (at, seq) order, and rebuilds the queue so the continuing run
+// is untouched. Dead timer occurrences (generation superseded by a Reset)
+// are re-queued but produce no descriptor: on a restored engine the timers
+// start at generation zero with at most one live occurrence each, and the
+// only divergence is the DeadPops diagnostic counter.
+//
+// An untagged pending event (or timer) makes the snapshot unusable — the
+// restore side could not rebuild its closure — so an error is returned; the
+// queue is still rebuilt and the engine remains fully usable.
+func (e *Engine) SnapshotEvents() ([]EventDesc, error) {
+	drained := make([]event, 0, e.Pending())
+	for {
+		ev, ok := e.popLE(maxTime)
+		if !ok {
+			break
+		}
+		drained = append(drained, ev)
+	}
+	descs := make([]EventDesc, 0, len(drained))
+	var err error
+	for i := range drained {
+		ev := &drained[i]
+		switch {
+		case ev.fn != nil, ev.fn1 != nil:
+			if ev.tag.Kind == 0 && err == nil {
+				err = fmt.Errorf("sim: untagged pending event at %v cannot be checkpointed", ev.at)
+			}
+			descs = append(descs, EventDesc{At: ev.at, Tag: ev.tag, Arg: ev.arg})
+		default:
+			tm := ev.arg.(*Timer)
+			if ev.tgen != tm.gen {
+				continue // lazily-deleted occurrence: never fires a callback
+			}
+			if tm.tag.Kind == 0 && err == nil {
+				err = fmt.Errorf("sim: untagged pending timer at %v cannot be checkpointed", ev.at)
+			}
+			descs = append(descs, EventDesc{
+				At: ev.at, Tag: tm.tag,
+				Timer: true, Armed: tm.armed, Deadline: tm.at,
+			})
+		}
+	}
+	// Rebuild the queue for the continuing run: every drained event goes
+	// back verbatim — original seqs and generations, dead occurrences
+	// included (a timer's queued bookkeeping depends on its occurrence
+	// eventually surfacing). Re-pushing in (at, seq) order preserves pop
+	// order on both backends; only cascade/high-water diagnostics shift.
+	if e.wheel != nil {
+		fresh := newTimingWheel()
+		fresh.cascades = e.wheel.cascades
+		fresh.overflowPushes = e.wheel.overflowPushes
+		e.wheel = fresh
+	} else {
+		e.heap = e.heap[:0]
+	}
+	for i := range drained {
+		e.push(drained[i])
+	}
+	return descs, err
+}
+
+// Restore positions a freshly built engine at a checkpoint's virtual time
+// and processed-event count. Pending events are replayed separately by the
+// owning layers (via the tagged scheduling calls and Timer.RestoreOccurrence),
+// receiving fresh sequence numbers in recorded (at, seq) order — which
+// preserves same-instant tie-breaking exactly, since all post-restore
+// scheduling gets strictly higher sequence numbers, just as it would have in
+// the uninterrupted run.
+func (e *Engine) Restore(now Time, processed uint64) {
+	e.now = now
+	e.processed = processed
+}
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }

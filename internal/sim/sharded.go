@@ -132,6 +132,7 @@ type xevent struct {
 	seq  uint64
 	fn1  func(any)
 	arg  any
+	tag  EventTag
 }
 
 // globalEvent is a coordinator-run callback (see Global).
@@ -237,6 +238,13 @@ func (s *ShardedEngine) SetStealing(on bool) { s.steal = on }
 // currently executing in domain src. It must satisfy the lookahead
 // contract: at >= src's current time + window.
 func (s *ShardedEngine) Send(src, dst int, at Time, fn func(any), arg any) {
+	s.SendTag(src, dst, at, EventTag{}, fn, arg)
+}
+
+// SendTag is Send with a checkpoint tag: the tag rides the mailbox and lands
+// on the destination-engine event at merge time, so a snapshot taken after
+// the merge can name it.
+func (s *ShardedEngine) SendTag(src, dst int, at Time, tag EventTag, fn func(any), arg any) {
 	d := s.doms[src]
 	if at < d.now+s.window {
 		panic(fmt.Sprintf("sim: cross-domain send at %v violates lookahead (now %v + window %v)",
@@ -244,13 +252,38 @@ func (s *ShardedEngine) Send(src, dst int, at Time, fn func(any), arg any) {
 	}
 	s.seqs[src]++
 	s.out[src][dst] = append(s.out[src][dst], xevent{
-		at: at, born: d.now, src: int32(src), seq: s.seqs[src], fn1: fn, arg: arg,
+		at: at, born: d.now, src: int32(src), seq: s.seqs[src], fn1: fn, arg: arg, tag: tag,
 	})
 	s.sent[src]++
 	if at < s.minSent[src] {
 		s.minSent[src] = at
 	}
 }
+
+// FlushMailboxes merges every buffered cross-domain event into its
+// destination engine immediately. Only valid from a Global callback (all
+// workers parked). The flush is exactly the merge the next window would have
+// performed: between a global and the next window's merge decision no domain
+// runs and nothing else assigns destination-engine sequence numbers, so the
+// batch, its canonical (at, born, src, seq) order, and the sequence numbers
+// the destination engines hand out are identical either way — which is what
+// lets a checkpoint global drain the mailboxes and snapshot per-domain
+// queues without perturbing the run.
+func (s *ShardedEngine) FlushMailboxes() {
+	if s.pendingCross == 0 {
+		return
+	}
+	s.stats.CrossEvents += s.pendingCross
+	s.mergeRange(0, 0, len(s.doms))
+	s.stats.SerialMerges++
+	s.pendingCross = 0
+	s.crossMin = maxTime
+}
+
+// RestoreGlobalNow positions a freshly built sharded engine's coordinator
+// clock at a checkpoint's instant, so re-armed globals (sampling, further
+// checkpoints) pass the not-before-now check.
+func (s *ShardedEngine) RestoreGlobalNow(t Time) { s.globalNow = t }
 
 // Global schedules fn at absolute time `at` on the coordinator, outside any
 // domain. Global callbacks run between windows with every worker parked at
@@ -611,7 +644,7 @@ func (s *ShardedEngine) mergeRange(w, lo, hi int) {
 		sortXevents(buf)
 		e := s.doms[dst]
 		for i := range buf {
-			e.At1(buf[i].at, buf[i].fn1, buf[i].arg)
+			e.At1Tag(buf[i].at, buf[i].tag, buf[i].fn1, buf[i].arg)
 			buf[i] = xevent{} // don't pin fn/arg until the next merge
 		}
 		s.mergeBatches[w]++

@@ -16,6 +16,7 @@ package sim
 type Timer struct {
 	eng *Engine
 	fn  func()
+	tag EventTag // checkpoint identity; Kind 0 blocks snapshots while queued
 
 	gen      uint64 // bumped to lazily invalidate the queued event
 	at       Time   // current deadline, meaningful while armed
@@ -27,6 +28,27 @@ type Timer struct {
 // NewTimer returns an unarmed timer that runs fn when it fires. The
 // callback is fixed for the timer's lifetime; arm it with Reset.
 func (e *Engine) NewTimer(fn func()) *Timer { return &Timer{eng: e, fn: fn} }
+
+// NewTimerTag returns an unarmed timer carrying a checkpoint tag, so a
+// snapshot taken while an occurrence is queued can name it.
+func (e *Engine) NewTimerTag(tag EventTag, fn func()) *Timer {
+	return &Timer{eng: e, fn: fn, tag: tag}
+}
+
+// RestoreOccurrence re-queues the timer's checkpointed occurrence on a
+// freshly built engine: the event surfaces at queuedAt, the deadline is
+// `deadline`, and the armed flag is restored as recorded — a canceled-but-
+// queued occurrence comes back exactly as it was, so a later Reset
+// chase-reuses it with the same relative ordering as the uninterrupted run.
+// Must be called at most once per timer, in the checkpoint's event order.
+func (tm *Timer) RestoreOccurrence(queuedAt, deadline Time, armed bool) {
+	e := tm.eng
+	tm.at = deadline
+	tm.armed = armed
+	tm.queued, tm.queuedAt = true, queuedAt
+	e.seq++
+	e.push(event{at: queuedAt, seq: e.seq, tgen: tm.gen, arg: tm})
+}
 
 // AtCancelable schedules fn at absolute time t and returns the controlling
 // Timer. Equivalent to NewTimer followed by Reset(t).

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 )
@@ -102,7 +103,7 @@ func newNDPReceiver(stack *Stack, f *netsim.Flow) *ndpReceiver {
 		net: stack.Net, f: f, host: host, ivs: &intervalSet{},
 		pacer: stack.pacer(f.DstHost), rto: stack.rto(),
 	}
-	r.repair = host.Eng().NewTimer(r.repairTick)
+	r.repair = host.Eng().NewTimerTag(sim.EventTag{Kind: checkpoint.KindNDPRepair, A: int32(f.Dense())}, r.repairTick)
 	return r
 }
 
@@ -194,7 +195,7 @@ func (s *Stack) pacer(host int) *pullPacer {
 	p, ok := s.pacers[host]
 	if !ok {
 		p = &pullPacer{net: s.Net, host: s.Net.Hosts[host]}
-		p.timer = p.host.Eng().NewTimer(p.drain)
+		p.timer = p.host.Eng().NewTimerTag(sim.EventTag{Kind: checkpoint.KindPacer, A: int32(host)}, p.drain)
 		s.pacers[host] = p
 	}
 	return p

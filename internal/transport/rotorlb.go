@@ -36,7 +36,7 @@ func (s *rotorSender) start() { s.push() }
 func (s *rotorSender) push() {
 	for s.next < s.f.Size {
 		if !s.tor.RotorHasCredit(s.dstToR) {
-			s.tor.RotorNotify(s.dstToR, s.pushFn)
+			s.tor.RotorNotify(s.dstToR, s.f, s.pushFn)
 			return
 		}
 		length := int64(MSS)

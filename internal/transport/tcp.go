@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 )
@@ -47,7 +48,7 @@ func newTCPSender(n *netsim.Network, f *netsim.Flow, dctcp bool, rto sim.Time) *
 		ssthresh: 1 << 30,
 		alpha:    1,
 	}
-	s.rtoT = s.host.Eng().NewTimer(s.onTimeout)
+	s.rtoT = s.host.Eng().NewTimerTag(sim.EventTag{Kind: checkpoint.KindTCPRTO, A: int32(f.Dense())}, s.onTimeout)
 	return s
 }
 

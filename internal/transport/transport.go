@@ -8,6 +8,7 @@ package transport
 import (
 	"fmt"
 
+	"ucmp/internal/checkpoint"
 	"ucmp/internal/netsim"
 	"ucmp/internal/sim"
 )
@@ -57,19 +58,16 @@ func NewStack(n *netsim.Network, kind Kind) *Stack {
 	return &Stack{Net: n, Kind: kind, pacers: make(map[int]*pullPacer)}
 }
 
-// Launch registers the flow, attaches endpoints, and schedules its start.
-func (s *Stack) Launch(f *netsim.Flow) {
+// Attach registers the flow and builds its endpoints without scheduling
+// anything — the restore path uses it to recreate every closure-bearing
+// endpoint before replaying the checkpoint's pending events. It returns the
+// start closures (rcvStart may be nil) for Launch to schedule.
+func (s *Stack) Attach(f *netsim.Flow) (start, rcvStart func()) {
 	s.Net.RegisterFlow(f) // sets RotorClass from the router
 	kind := s.Kind
 	if f.RotorClass {
 		kind = Rotor
 	}
-	// start runs on the source host's engine; rcvStart (when set) runs on
-	// the destination host's engine at the same instant, so each endpoint's
-	// state — including its timers — lives entirely in its own host's
-	// lookahead domain. In serial mode both engines are the network engine
-	// and the two events fire back to back, matching the old combined start.
-	var start, rcvStart func()
 	switch kind {
 	case MPTCP:
 		start = s.launchMPTCP(f)
@@ -92,19 +90,31 @@ func (s *Stack) Launch(f *netsim.Flow) {
 	default:
 		panic(fmt.Sprintf("transport: unknown kind %q", kind))
 	}
+	return start, rcvStart
+}
+
+// Launch registers the flow, attaches endpoints, and schedules its start.
+func (s *Stack) Launch(f *netsim.Flow) {
+	// start runs on the source host's engine; rcvStart (when set) runs on
+	// the destination host's engine at the same instant, so each endpoint's
+	// state — including its timers — lives entirely in its own host's
+	// lookahead domain. In serial mode both engines are the network engine
+	// and the two events fire back to back, matching the old combined start.
+	start, rcvStart := s.Attach(f)
 	src := s.Net.Hosts[f.SrcHost]
 	at := f.Arrival
 	if now := src.Now(); at < now {
 		at = now
 	}
-	src.Eng().At(at, start)
+	dense := int32(f.Dense())
+	src.Eng().AtTag(at, sim.EventTag{Kind: checkpoint.KindFlowStart, A: dense}, start)
 	if rcvStart != nil {
 		dst := s.Net.Hosts[f.DstHost]
 		rcvAt := at
 		if now := dst.Now(); rcvAt < now {
 			rcvAt = now
 		}
-		dst.Eng().At(rcvAt, rcvStart)
+		dst.Eng().AtTag(rcvAt, sim.EventTag{Kind: checkpoint.KindRcvStart, A: dense}, rcvStart)
 	}
 }
 
